@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure bench regenerates one paper figure (at a reduced scale),
+asserts the paper's qualitative shape and saves the rendered report under
+``results/``.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark an expensive experiment exactly once (no repeat rounds)."""
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,105 @@
+"""Ablation benchmarks for design choices called out in DESIGN.md.
+
+* ⊕ operator variants in the overlap alignment,
+* overlap probe rule (paper vs safe) end-to-end,
+* alignment-method ladder cost on the same input (what each level buys),
+* similarity-flooding baseline vs σEdit on the same small input.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.similarity_flooding import similarity_flooding
+from repro.core.deblank import deblank_partition
+from repro.core.hybrid import hybrid_partition
+from repro.core.trivial import trivial_partition
+from repro.datasets import GtoPdbGenerator
+from repro.model import combine
+from repro.oplus import OPERATORS
+from repro.partition.alignment import align
+from repro.partition.interner import ColorInterner
+from repro.similarity.edit_distance import EditDistance
+from repro.similarity.overlap_alignment import overlap_partition
+
+
+@pytest.fixture(scope="module")
+def gtopdb_union():
+    generator = GtoPdbGenerator(scale=0.3, versions=5)
+    union, truth = generator.combined(2, 3)
+    return union, truth
+
+
+@pytest.fixture(scope="module")
+def small_union():
+    generator = GtoPdbGenerator(scale=0.08, versions=3, seed=5)
+    union, truth = generator.combined(0, 1)
+    return union, truth
+
+
+@pytest.mark.parametrize("method", ["trivial", "deblank", "hybrid", "overlap"])
+def test_method_ladder_cost(benchmark, gtopdb_union, method):
+    union, __ = gtopdb_union
+
+    def run():
+        interner = ColorInterner()
+        if method == "trivial":
+            return trivial_partition(union, interner)
+        if method == "deblank":
+            return deblank_partition(union, interner)
+        if method == "hybrid":
+            return hybrid_partition(union, interner)
+        return overlap_partition(union, interner=interner).partition
+
+    partition = benchmark(run)
+    assert partition.num_classes > 1
+
+
+@pytest.mark.parametrize("operator_name", sorted(OPERATORS))
+def test_oplus_variants_in_overlap(benchmark, gtopdb_union, operator_name):
+    union, truth = gtopdb_union
+    operator = OPERATORS[operator_name]
+
+    def run():
+        interner = ColorInterner()
+        return overlap_partition(union, interner=interner, operator=operator)
+
+    weighted = benchmark(run)
+    # Every variant must still produce a sound refinement of hybrid.
+    assert weighted.partition.num_classes > 1
+
+
+@pytest.mark.parametrize("probe", ["paper", "safe"])
+def test_probe_rule_end_to_end(benchmark, gtopdb_union, probe):
+    union, truth = gtopdb_union
+
+    def run():
+        interner = ColorInterner()
+        return overlap_partition(union, interner=interner, probe=probe)  # type: ignore[arg-type]
+
+    weighted = benchmark(run)
+    alignment = align(union, weighted.partition)
+    assert alignment.matched_class_count() > 0
+
+
+def test_sigma_edit_reference(benchmark, small_union):
+    union, __ = small_union
+    edit = benchmark.pedantic(
+        lambda: EditDistance(union, max_rounds=20),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    # rounds_used is 0 when hybrid already aligned every non-literal.
+    assert edit.rounds_used >= 0
+
+
+def test_similarity_flooding_baseline(benchmark, small_union):
+    union, __ = small_union
+    result = benchmark.pedantic(
+        lambda: similarity_flooding(union, max_rounds=15),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert result.rounds >= 1

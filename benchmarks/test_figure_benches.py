@@ -1,0 +1,81 @@
+"""One benchmark per evaluation figure (paper Figures 9–16).
+
+Each bench regenerates the figure's rows at a laptop scale, asserts the
+paper's qualitative shape (see each experiment's ``check_shape``) and
+writes the rendered report to ``results/figureNN.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    assert_shape,
+    figure09,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+)
+
+from .conftest import run_once
+
+
+def test_figure09_efo_dataset_stats(benchmark, results_dir):
+    result = run_once(benchmark, figure09.run, scale=0.5)
+    assert_shape(figure09.check_shape(result))
+    result.save(results_dir)
+    assert len(result.rows) == 10
+
+
+def test_figure10_trivial_deblank_matrices(benchmark, results_dir):
+    result = run_once(benchmark, figure10.run, scale=0.3)
+    assert_shape(figure10.check_shape(result))
+    result.save(results_dir)
+    assert len(result.rows) == 100
+
+
+def test_figure11_hybrid_overlap_gains(benchmark, results_dir):
+    result = run_once(benchmark, figure11.run, scale=0.25)
+    assert_shape(figure11.check_shape(result))
+    result.save(results_dir)
+    total_gain = sum(row["hybrid_gain"] + row["overlap_gain"] for row in result.rows)
+    assert total_gain > 0
+
+
+def test_figure12_gtopdb_dataset_stats(benchmark, results_dir):
+    result = run_once(benchmark, figure12.run, scale=0.5)
+    assert_shape(figure12.check_shape(result))
+    result.save(results_dir)
+    assert len(result.rows) == 10
+
+
+def test_figure13_aligned_node_counts(benchmark, results_dir):
+    result = run_once(benchmark, figure13.run, scale=0.4)
+    assert_shape(figure13.check_shape(result))
+    result.save(results_dir)
+    # Who wins: Overlap tracks ground truth more closely than Hybrid.
+    hybrid_gap = sum(abs(r["hybrid"] - r["gtopdb"]) for r in result.rows)
+    overlap_gap = sum(abs(r["overlap"] - r["gtopdb"]) for r in result.rows)
+    assert overlap_gap < hybrid_gap
+
+
+def test_figure14_alignment_precision(benchmark, results_dir):
+    result = run_once(benchmark, figure14.run, scale=0.4)
+    assert_shape(figure14.check_shape(result))
+    result.save(results_dir)
+
+
+def test_figure15_threshold_sweep(benchmark, results_dir):
+    result = run_once(benchmark, figure15.run, scale=0.4)
+    assert_shape(figure15.check_shape(result))
+    result.save(results_dir)
+    assert len(result.rows) == 7
+
+
+def test_figure16_scalability(benchmark, results_dir):
+    result = run_once(benchmark, figure16.run, scale=0.5)
+    assert_shape(figure16.check_shape(result))
+    result.save(results_dir)
+    assert len(result.rows) == 5

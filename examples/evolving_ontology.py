@@ -1,0 +1,67 @@
+"""Align consecutive versions of an evolving ontology (EFO-like scenario).
+
+This is the paper's Section 5.1 workload: an ontology whose classes carry
+literal annotations and blank-node citation records, where URI prefixes
+migrate over time.  The script generates ten versions, aligns each
+consecutive pair with the full method ladder and reports how much each
+method adds — plus what happened across the v7→v8 bulk prefix rename.
+
+Run with::
+
+    python examples/evolving_ontology.py [scale]
+"""
+
+import sys
+
+from repro.core import deblank_partition, hybrid_partition
+from repro.datasets import EFOGenerator
+from repro.evaluation import (
+    aligned_edge_count,
+    aligned_edge_ratio,
+    recall_against_truth,
+    render_table,
+)
+from repro.model import combine
+from repro.partition import ColorInterner
+from repro.similarity import overlap_partition
+
+
+def main(scale: float = 0.5) -> None:
+    generator = EFOGenerator(scale=scale)
+    graphs = generator.graphs()
+    print(f"generated {len(graphs)} ontology versions "
+          f"({graphs[0].num_edges} → {graphs[-1].num_edges} triples)\n")
+
+    rows = []
+    for index in range(len(graphs) - 1):
+        union = combine(graphs[index], graphs[index + 1])
+        truth = generator.ground_truth(index, index + 1)
+        interner = ColorInterner()
+        deblank = deblank_partition(union, interner)
+        hybrid = hybrid_partition(union, interner, base=deblank)
+        overlap = overlap_partition(union, interner=interner, base=hybrid)
+        rows.append(
+            [
+                f"v{index + 1}->v{index + 2}",
+                round(aligned_edge_ratio(union, deblank), 3),
+                aligned_edge_count(union, hybrid) - aligned_edge_count(union, deblank),
+                aligned_edge_count(union, overlap.partition)
+                - aligned_edge_count(union, hybrid),
+                round(recall_against_truth(union, hybrid, truth), 3),
+                round(recall_against_truth(union, overlap.partition, truth), 3),
+            ]
+        )
+    print(render_table(
+        ["pair", "deblank ratio", "hybrid +edges", "overlap +edges",
+         "hybrid recall", "overlap recall"],
+        rows,
+    ))
+    print(
+        "\nNote the spike of extra aligned edges at v7->v8: the bulk\n"
+        "URI-prefix rename that only Hybrid/Overlap can see through\n"
+        "(paper Figure 11)."
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.5)

@@ -1,0 +1,63 @@
+"""Scalability: alignment running time against input size (Figure 16 scenario).
+
+Generates growing DBpedia-category-like graphs and times the three main
+methods on each consecutive pair, then prints the time-per-triple so the
+roughly-linear trend is visible.  Pass a larger scale to stress it.
+
+Run with::
+
+    python examples/scalability.py [scale]
+"""
+
+import sys
+
+from repro.core import hybrid_partition, trivial_partition
+from repro.datasets import DBpediaCategoryGenerator
+from repro.evaluation import StopwatchSeries, render_table
+from repro.model import combine
+from repro.partition import ColorInterner
+from repro.similarity import overlap_partition
+
+
+def main(scale: float = 1.0) -> None:
+    generator = DBpediaCategoryGenerator(scale=scale)
+    graphs = generator.graphs()
+    print(f"{len(graphs)} versions, "
+          f"{graphs[0].num_nodes} → {graphs[-1].num_nodes} nodes\n")
+    stopwatch = StopwatchSeries()
+    rows = []
+    for index in range(len(graphs) - 1):
+        union = combine(graphs[index], graphs[index + 1])
+        triples = union.num_edges
+        interner = ColorInterner()
+        stopwatch.measure("trivial", index, lambda: trivial_partition(union, interner))
+        hybrid_interner = ColorInterner()
+        hybrid = stopwatch.measure(
+            "hybrid", index, lambda: hybrid_partition(union, hybrid_interner)
+        )
+        stopwatch.measure(
+            "overlap",
+            index,
+            lambda: overlap_partition(union, interner=hybrid_interner, base=hybrid),
+        )
+        overlap_seconds = stopwatch.get("overlap", index)
+        rows.append(
+            [
+                f"v{index + 1}->v{index + 2}",
+                triples,
+                round(stopwatch.get("trivial", index), 4),
+                round(stopwatch.get("hybrid", index), 4),
+                round(overlap_seconds, 4),
+                round(1e6 * overlap_seconds / triples, 2),
+            ]
+        )
+    print(render_table(
+        ["pair", "triples", "trivial (s)", "hybrid (s)", "overlap (s)", "overlap µs/triple"],
+        rows,
+    ))
+    print("\nThe µs/triple column staying roughly flat is the paper's "
+          "Figure 16 claim: time grows proportionally to input size.")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 1.0)

@@ -1,0 +1,81 @@
+"""Compact multi-version archives from alignments (the paper's Section 6).
+
+The paper closes by asking whether the constructed alignments can drive a
+compact representation of *all* versions of an evolving RDF database, by
+decorating triples with the version intervals in which they were present —
+and observes that "triples tend to enter and leave with their subject".
+
+This script builds such an archive for two dataset families, reports the
+compression and cohesion numbers, and demonstrates exact reconstruction —
+including across the GtoPdb-style prefix renames where *no URIs are shared
+between versions* and only the alignment can chain entities.
+
+Run with::
+
+    python examples/version_archive.py [scale]
+"""
+
+import sys
+
+from repro.archive import VersionArchive
+from repro.datasets import EFOGenerator, GtoPdbGenerator
+from repro.evaluation import render_table
+from repro.model.graph import isomorphic_by_labels
+
+
+def archive_report(name: str, graphs) -> list:
+    archive = VersionArchive.build(graphs)
+    stats = archive.stats(graphs)
+    # Exact reconstruction check for every version.
+    exact = all(
+        isomorphic_by_labels(original, archive.reconstruct(index + 1))
+        for index, original in enumerate(graphs)
+    )
+    return [
+        name,
+        stats.versions,
+        stats.naive_triples,
+        stats.archived_triples,
+        f"{stats.compression_ratio:.2f}x",
+        f"{stats.contiguous_fraction:.2f}",
+        f"{stats.subject_cohesion:.2f}",
+        "yes" if exact else "NO",
+    ]
+
+
+def main(scale: float = 0.4) -> None:
+    rows = []
+    print(
+        "building archives (hybrid + predicate-aware alignment chains the "
+        "entities)...\n"
+    )
+    rows.append(archive_report("EFO-like", EFOGenerator(scale=scale, versions=8).graphs()))
+    rows.append(
+        archive_report(
+            "GtoPdb-like (renamed prefixes)",
+            GtoPdbGenerator(scale=scale * 0.6, versions=6).graphs(),
+        )
+    )
+    print(render_table(
+        [
+            "dataset",
+            "versions",
+            "naive triples",
+            "archived",
+            "compression",
+            "contiguous",
+            "subject cohesion",
+            "exact round-trip",
+        ],
+        rows,
+    ))
+    print(
+        "\n'subject cohesion' is the fraction of triples whose lifetime\n"
+        "interval equals their subject's — the paper's closing observation\n"
+        "('triples tend to enter and leave with their subject'), which\n"
+        "justifies moving the interval decoration onto subject nodes."
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.4)

@@ -1,0 +1,14 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` requires ``wheel`` for PEP 517 editable builds; fully
+offline environments that lack it can instead run::
+
+    python setup.py develop
+
+which produces an equivalent editable install through classic setuptools.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

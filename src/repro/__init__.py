@@ -1,0 +1,70 @@
+"""repro — RDF graph alignment with bisimulation.
+
+A from-scratch reproduction of Buneman & Staworko, *RDF Graph Alignment
+with Bisimulation*, PVLDB 9(12), 2016.  See README.md for a tour and
+DESIGN.md for the system inventory and experiment index.
+
+Public API highlights:
+
+* :func:`repro.align_versions` — align two RDF graph versions,
+* :mod:`repro.model` — labels, triple graphs, RDF graphs, disjoint unions,
+* :mod:`repro.core` — bisimulation refinement, Trivial/Deblank/Hybrid,
+* :mod:`repro.similarity` — σEdit, weighted partitions, Overlap,
+* :mod:`repro.datasets` — synthetic evolving datasets with ground truth,
+* :mod:`repro.experiments` — one module per paper figure (9–16).
+"""
+
+from .api import AlignmentMethod, AlignmentResult, align_versions
+from .exceptions import (
+    AlignmentError,
+    ExperimentError,
+    GraphError,
+    ParseError,
+    PartitionError,
+    RDFWellFormednessError,
+    ReproError,
+    SchemaError,
+)
+from .model import (
+    BLANK,
+    BlankNode,
+    CombinedGraph,
+    Literal,
+    RDFGraph,
+    TripleGraph,
+    URI,
+    blank,
+    combine,
+    lit,
+    uri,
+)
+from .oplus import oplus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlignmentError",
+    "AlignmentMethod",
+    "AlignmentResult",
+    "BLANK",
+    "BlankNode",
+    "CombinedGraph",
+    "ExperimentError",
+    "GraphError",
+    "Literal",
+    "ParseError",
+    "PartitionError",
+    "RDFGraph",
+    "RDFWellFormednessError",
+    "ReproError",
+    "SchemaError",
+    "TripleGraph",
+    "URI",
+    "__version__",
+    "align_versions",
+    "blank",
+    "combine",
+    "lit",
+    "oplus",
+    "uri",
+]

@@ -1,0 +1,6 @@
+"""Compact multi-version archives (the paper's Section 6 future work)."""
+
+from .builder import ArchiveStats, EntityId, VersionArchive
+from .intervals import VersionInterval
+
+__all__ = ["ArchiveStats", "EntityId", "VersionArchive", "VersionInterval"]

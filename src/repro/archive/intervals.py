@@ -1,0 +1,104 @@
+"""Version intervals: which versions a fact was present in.
+
+The paper's concluding question (Section 6): *can the constructed
+alignments be used to construct compact representations of all versions of
+an RDF database?*  Its proposed device is "to decorate triples with
+intervals that represent versions where the triple was present".  This
+module provides that decoration: a set of versions stored as sorted,
+disjoint, inclusive ``[start, end]`` ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class VersionInterval:
+    """A sorted set of version numbers, stored as disjoint ranges."""
+
+    __slots__ = ("_ranges",)
+
+    def __init__(self, versions: Iterable[int] = ()) -> None:
+        self._ranges: list[tuple[int, int]] = []
+        for version in sorted(set(versions)):
+            self.add(version)
+
+    # ------------------------------------------------------------------
+    def add(self, version: int) -> None:
+        """Insert one version, merging adjacent ranges."""
+        ranges = self._ranges
+        for index, (start, end) in enumerate(ranges):
+            if start <= version <= end:
+                return
+            if version == start - 1:
+                ranges[index] = (version, end)
+                self._coalesce(index)
+                return
+            if version == end + 1:
+                ranges[index] = (start, version)
+                self._coalesce(index)
+                return
+            if version < start:
+                ranges.insert(index, (version, version))
+                return
+        ranges.append((version, version))
+
+    def _coalesce(self, index: int) -> None:
+        ranges = self._ranges
+        # Merge with the previous range if they now touch.
+        if index > 0 and ranges[index - 1][1] + 1 >= ranges[index][0]:
+            previous_start = ranges[index - 1][0]
+            ranges[index - 1] = (previous_start, max(ranges[index - 1][1], ranges[index][1]))
+            del ranges[index]
+            index -= 1
+        if index + 1 < len(ranges) and ranges[index][1] + 1 >= ranges[index + 1][0]:
+            ranges[index] = (ranges[index][0], max(ranges[index][1], ranges[index + 1][1]))
+            del ranges[index + 1]
+
+    # ------------------------------------------------------------------
+    def __contains__(self, version: int) -> bool:
+        return any(start <= version <= end for start, end in self._ranges)
+
+    def __iter__(self) -> Iterator[int]:
+        for start, end in self._ranges:
+            yield from range(start, end + 1)
+
+    def __len__(self) -> int:
+        return sum(end - start + 1 for start, end in self._ranges)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VersionInterval) and self._ranges == other._ranges
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._ranges))
+
+    @property
+    def ranges(self) -> list[tuple[int, int]]:
+        """The disjoint inclusive ranges, sorted."""
+        return list(self._ranges)
+
+    @property
+    def range_count(self) -> int:
+        """Number of ranges — the storage cost of the decoration."""
+        return len(self._ranges)
+
+    def is_contiguous(self) -> bool:
+        """One unbroken range (the common case the paper expects)."""
+        return len(self._ranges) <= 1
+
+    def first(self) -> int:
+        if not self._ranges:
+            raise ValueError("empty interval")
+        return self._ranges[0][0]
+
+    def last(self) -> int:
+        if not self._ranges:
+            raise ValueError("empty interval")
+        return self._ranges[-1][1]
+
+    def __repr__(self) -> str:
+        ranges = ", ".join(
+            f"{start}" if start == end else f"{start}-{end}"
+            for start, end in self._ranges
+        )
+        return f"VersionInterval[{ranges}]"

@@ -1,0 +1,16 @@
+"""Related-work baselines: similarity flooding and blank-node label invention."""
+
+from .label_invention import (
+    CyclicBlankError,
+    invent_labels,
+    label_invention_alignment,
+)
+from .similarity_flooding import FloodingResult, similarity_flooding
+
+__all__ = [
+    "CyclicBlankError",
+    "FloodingResult",
+    "invent_labels",
+    "label_invention_alignment",
+    "similarity_flooding",
+]

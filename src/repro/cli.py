@@ -1,0 +1,219 @@
+"""Command-line interface: ``rdf-align`` (or ``python -m repro``).
+
+Subcommands
+-----------
+
+``align``
+    Align two N-Triples files and print the aligned pairs or a summary.
+``stats``
+    Node/edge statistics of an N-Triples file.
+``generate``
+    Write a version of one of the synthetic datasets as N-Triples.
+``experiment``
+    Run paper-figure experiments and save reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import __version__
+from .api import METHOD_ORDER, align_versions
+from .exceptions import ReproError
+from .io import ntriples
+from .similarity.string_distance import character_set, qgrams, split_words
+
+_SPLITTERS = {"words": split_words, "chars": character_set, "qgrams": qgrams}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rdf-align",
+        description="RDF graph alignment with bisimulation (PVLDB 2016 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    align_cmd = commands.add_parser("align", help="align two N-Triples files")
+    align_cmd.add_argument("source", help="source version (.nt)")
+    align_cmd.add_argument("target", help="target version (.nt)")
+    align_cmd.add_argument(
+        "--method", choices=METHOD_ORDER, default="hybrid", help="alignment method"
+    )
+    align_cmd.add_argument("--theta", type=float, default=0.65, help="overlap threshold")
+    align_cmd.add_argument(
+        "--splitter",
+        choices=sorted(_SPLITTERS),
+        default="words",
+        help="literal characterizer for the overlap method",
+    )
+    align_cmd.add_argument(
+        "--pairs", action="store_true", help="print every aligned pair (TSV)"
+    )
+    align_cmd.add_argument("--output", help="write pairs to this file instead of stdout")
+
+    stats_cmd = commands.add_parser("stats", help="node/edge statistics of a file")
+    stats_cmd.add_argument("file", help="an N-Triples file")
+
+    delta_cmd = commands.add_parser(
+        "delta", help="change report between two versions (alignment-based)"
+    )
+    delta_cmd.add_argument("source", help="source version (.nt)")
+    delta_cmd.add_argument("target", help="target version (.nt)")
+    delta_cmd.add_argument(
+        "--method", choices=METHOD_ORDER, default="hybrid", help="alignment method"
+    )
+    delta_cmd.add_argument("--limit", type=int, default=20, help="entries per section")
+
+    generate_cmd = commands.add_parser("generate", help="write a synthetic dataset version")
+    generate_cmd.add_argument(
+        "dataset", choices=("efo", "gtopdb", "dbpedia"), help="dataset family"
+    )
+    generate_cmd.add_argument("--graph-version", type=int, default=1, help="1-based version")
+    generate_cmd.add_argument("--scale", type=float, default=0.5)
+    generate_cmd.add_argument("--seed", type=int, default=None)
+    generate_cmd.add_argument("--out", required=True, help="output .nt path")
+
+    experiment_cmd = commands.add_parser("experiment", help="run paper-figure experiments")
+    experiment_cmd.add_argument(
+        "names",
+        nargs="*",
+        help="experiment names (default: all); e.g. figure13",
+    )
+    experiment_cmd.add_argument("--scale", type=float, default=None)
+    experiment_cmd.add_argument("--seed", type=int, default=None)
+    experiment_cmd.add_argument("--theta", type=float, default=None)
+    experiment_cmd.add_argument("--out", default="results", help="report directory")
+    experiment_cmd.add_argument(
+        "--no-check", action="store_true", help="skip the shape checks"
+    )
+    return parser
+
+
+def _command_align(args: argparse.Namespace) -> int:
+    source = ntriples.load_path(args.source)
+    target = ntriples.load_path(args.target)
+    result = align_versions(
+        source,
+        target,
+        method=args.method,
+        theta=args.theta,
+        splitter=_SPLITTERS[args.splitter],
+    )
+    unaligned_source, unaligned_target = result.unaligned_counts()
+    print(
+        f"method={result.method} matched_entities={result.matched_entities()} "
+        f"unaligned_source={unaligned_source} unaligned_target={unaligned_target}"
+    )
+    if args.pairs or args.output:
+        lines = []
+        for source_node, target_node in sorted(
+            result.alignment.pairs(), key=lambda pair: (repr(pair[0]), repr(pair[1]))
+        ):
+            source_term = result.graph.original(source_node)
+            target_term = result.graph.original(target_node)
+            lines.append(f"{source_term!r}\t{target_term!r}")
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {len(lines)} pairs to {args.output}")
+        else:
+            sys.stdout.write(text)
+    return 0
+
+
+def _command_delta(args: argparse.Namespace) -> int:
+    from .delta import compute_delta, render_delta
+
+    source = ntriples.load_path(args.source)
+    target = ntriples.load_path(args.target)
+    result = align_versions(source, target, method=args.method)
+    delta = compute_delta(result.graph, result.partition)
+    print(render_delta(result.graph, delta, limit=args.limit))
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    graph = ntriples.load_path(args.file)
+    stats = graph.stats()
+    for key, value in stats.as_dict().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    from .datasets.dbpedia import DBpediaCategoryGenerator
+    from .datasets.efo import EFOGenerator
+    from .datasets.gtopdb import GtoPdbGenerator
+
+    factories = {
+        "efo": lambda: EFOGenerator(
+            scale=args.scale, **({"seed": args.seed} if args.seed is not None else {})
+        ),
+        "gtopdb": lambda: GtoPdbGenerator(
+            scale=args.scale, **({"seed": args.seed} if args.seed is not None else {})
+        ),
+        "dbpedia": lambda: DBpediaCategoryGenerator(
+            scale=args.scale, **({"seed": args.seed} if args.seed is not None else {})
+        ),
+    }
+    generator = factories[args.dataset]()
+    graph = generator.graph(args.graph_version - 1)
+    ntriples.dump_path(graph, args.out)
+    stats = graph.stats()
+    print(
+        f"wrote {args.dataset} v{args.graph_version} to {args.out} "
+        f"({stats.num_edges} triples, {stats.num_nodes} nodes)"
+    )
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    from .experiments.runner import run_experiments
+
+    parameters = {}
+    for key in ("scale", "seed", "theta"):
+        value = getattr(args, key)
+        if value is not None:
+            parameters[key] = value
+    results = run_experiments(
+        args.names or None,
+        out_dir=args.out,
+        check=not args.no_check,
+        progress=print,
+        **parameters,
+    )
+    for result in results.values():
+        print()
+        print(result.render())
+    print(f"\nreports saved under {args.out}/")
+    return 0
+
+
+_COMMANDS = {
+    "align": _command_align,
+    "delta": _command_delta,
+    "stats": _command_stats,
+    "generate": _command_generate,
+    "experiment": _command_experiment,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

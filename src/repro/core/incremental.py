@@ -1,0 +1,105 @@
+"""Worklist-based (incremental) partition refinement.
+
+The batch fixpoint of :mod:`repro.core.refinement` recolors *every* node of
+the subset in every round — O(rounds × |E|).  In practice most classes
+stabilize early; this module implements the classical optimization of only
+re-examining nodes whose outbound signature may have changed, i.e. the
+predecessors of nodes whose class changed in the previous round (a
+signature-based cousin of Paige–Tarjan's "process the smaller half" [13]).
+
+The result is the same partition (up to recoloring): partition refinement
+reaches the unique coarsest stable refinement of the initial partition
+regardless of split order.  Our test suite checks equivalence with the
+batch implementation on random graphs, and the micro benchmark
+``bench_micro_refinement`` measures the speedup.
+
+Precondition: the classes of the initial partition must not mix subset and
+non-subset nodes (the deblanking and full-bisimulation refinements satisfy
+this by construction: subset nodes start in the blank-label class while
+non-subset nodes carry label colors).  The hybrid refinement does *not*
+satisfy it relative to the exact color semantics — a recolored node's
+derivation tree may legitimately collide with the color of an
+already-aligned node — so hybrid always uses the batch variant.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+from ..exceptions import PartitionError
+from ..model.graph import NodeId, TripleGraph
+from ..partition.coloring import Partition
+from ..partition.interner import Color, ColorInterner
+from .refinement import check_interner_covers
+
+
+def incremental_refine_fixpoint(
+    graph: TripleGraph,
+    partition: Partition,
+    subset: Collection[NodeId] | None = None,
+    interner: ColorInterner | None = None,
+) -> Partition:
+    """Refine *partition* on *subset* to the coarsest stable refinement.
+
+    Equivalent (as a partition) to
+    :func:`repro.core.refinement.bisim_refine_fixpoint`; the color values
+    differ.
+    """
+    if interner is None:
+        # Re-seed foreign colors into a fresh interner so that the split
+        # colors minted below can never collide with them.
+        interner = ColorInterner()
+        partition = Partition(
+            {node: interner.intern(("seed", color)) for node, color in partition.items()}
+        )
+    else:
+        check_interner_covers(partition, interner)
+    colors: dict[NodeId, Color] = partition.as_dict()
+    subset_nodes = set(subset) if subset is not None else set(graph.nodes())
+
+    # Class map restricted to subset nodes, plus the mixed-class check.
+    members: dict[Color, set[NodeId]] = {}
+    for node in subset_nodes:
+        members.setdefault(colors[node], set()).add(node)
+    for color, subset_members in members.items():
+        class_size = sum(1 for n, c in colors.items() if c == color)
+        if class_size != len(subset_members):
+            raise PartitionError(
+                "incremental refinement requires initial classes that do not "
+                "mix subset and non-subset nodes; use the batch variant"
+            )
+
+    def signature(node: NodeId) -> tuple[tuple[Color, Color], ...]:
+        return tuple(sorted({(colors[p], colors[o]) for p, o in graph.out(node)}))
+
+    dirty = set(subset_nodes)
+    split_count = 0
+    while dirty:
+        affected_colors = {colors[node] for node in dirty}
+        moved: list[NodeId] = []
+        for color in affected_colors:
+            class_members = members.get(color)
+            if not class_members or len(class_members) == 1:
+                continue
+            groups: dict[tuple, set[NodeId]] = {}
+            for node in class_members:
+                groups.setdefault(signature(node), set()).add(node)
+            if len(groups) <= 1:
+                continue
+            # The group with the smallest signature keeps the old color; the
+            # others get split colors made unique by a running counter (the
+            # same (color, signature) pair can otherwise recur in a later
+            # round and wrongly merge groups that have since diverged).
+            ordered = sorted(groups.items(), key=lambda item: item[0])
+            for __, group_nodes in ordered[1:]:
+                split_count += 1
+                new_color = interner.intern(("split", split_count))
+                for node in group_nodes:
+                    colors[node] = new_color
+                    moved.append(node)
+                members[new_color] = set(group_nodes)
+                class_members -= group_nodes
+        dirty = set()
+        for node in moved:
+            dirty.update(graph.occurrences(node) & subset_nodes)
+    return Partition(colors)

@@ -1,0 +1,150 @@
+"""Bisimulation partition refinement (paper Section 3.2).
+
+One refinement step recolors a node with the combination of its current
+color and the colors of its outbound (predicate, object) pairs — paper
+equation (1):
+
+    recolor_λ(n) = (λ(n), {(λ(p), λ(o)) | (p, o) ∈ out_G(n)})
+
+``BisimRefine_X`` applies ``recolor`` to the nodes of a chosen subset ``X``
+only (equation (2)); iterating it to a fixpoint yields ``BisimRefine*_X``
+(Definition 4).  Because the new color embeds the old one, every step is
+*finer* than the last, so classes only ever split and the fixpoint test
+reduces to "did the number of classes stop growing?".
+
+Colors are hash-consed through :class:`~repro.partition.interner.ColorInterner`,
+which is the paper's "simple hashing technique": the derivation tree of a
+color is stored once as a DAG and color comparison is integer equality.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Iterable
+
+from ..exceptions import PartitionError
+from ..model.graph import NodeId, TripleGraph
+from ..partition.coloring import Partition
+from ..partition.interner import Color, ColorInterner
+
+
+def check_interner_covers(partition: Partition, interner: ColorInterner) -> None:
+    """Guard against mixing partitions and interners.
+
+    Refinement keys embed the current colors; if those colors were interned
+    elsewhere, freshly interned keys can collide with them and silently
+    merge unrelated classes.  Every color of *partition* must therefore be
+    a valid index into *interner*.
+    """
+    limit = len(interner)
+    for node, color in partition.items():
+        if not 0 <= color < limit:
+            raise PartitionError(
+                f"color {color} of node {node!r} was not produced by the "
+                "supplied interner; pass the interner used to build the "
+                "initial partition"
+            )
+
+
+def recolor_key(
+    graph: TripleGraph, partition: Partition, node: NodeId
+) -> tuple[str, Color, tuple[tuple[Color, Color], ...]]:
+    """The structural key of ``recolor_λ(node)``.
+
+    The out-pair color *set* is canonicalized as a sorted duplicate-free
+    tuple so that equal sets produce equal keys.
+    """
+    pair_colors = {
+        (partition[predicate], partition[obj])
+        for predicate, obj in graph.out(node)
+    }
+    return ("recolor", partition[node], tuple(sorted(pair_colors)))
+
+
+def bisim_refine_step(
+    graph: TripleGraph,
+    partition: Partition,
+    subset: Collection[NodeId],
+    interner: ColorInterner,
+) -> Partition:
+    """One-step ``BisimRefine_X(λ)`` (paper equation (2)).
+
+    Nodes in *subset* are recolored simultaneously (all keys are computed
+    against the incoming partition); all other nodes keep their color.
+    """
+    updates: dict[NodeId, Color] = {}
+    for node in subset:
+        updates[node] = interner.intern(recolor_key(graph, partition, node))
+    return partition.with_colors(updates)
+
+
+def bisim_refine_fixpoint(
+    graph: TripleGraph,
+    partition: Partition,
+    subset: Collection[NodeId] | None = None,
+    interner: ColorInterner | None = None,
+    max_rounds: int | None = None,
+) -> Partition:
+    """``BisimRefine*_X(λ)``: iterate until the partition stabilizes.
+
+    *subset* defaults to all nodes (full bisimulation).  The fixpoint test
+    exploits monotonicity: each step is finer than the last, hence the
+    partitions are equivalent iff their class counts agree.
+
+    *max_rounds* bounds the iteration for diagnostics; the natural bound is
+    the number of nodes (each productive round adds at least one class).
+    """
+    if interner is None:
+        # Re-seed foreign colors into a fresh interner (preserves classes,
+        # prevents collisions with the recolor keys minted below).
+        interner = ColorInterner()
+        partition = Partition(
+            {node: interner.intern(("seed", color)) for node, color in partition.items()}
+        )
+    else:
+        check_interner_covers(partition, interner)
+    nodes = list(subset) if subset is not None else list(graph.nodes())
+    current = partition
+    current_classes = current.num_classes
+    rounds = 0
+    while True:
+        if max_rounds is not None and rounds >= max_rounds:
+            return current
+        refined = bisim_refine_step(graph, current, nodes, interner)
+        refined_classes = refined.num_classes
+        rounds += 1
+        if refined_classes == current_classes:
+            # Equivalent partition: the step was a pure recoloring, so the
+            # previous iterate already was the fixpoint (Definition 4 returns
+            # Λ^n(λ) for the minimal n with Λ^n(λ) ≡ Λ^{n+1}(λ)).
+            return current
+        current = refined
+        current_classes = refined_classes
+
+
+def refinement_trace(
+    graph: TripleGraph,
+    partition: Partition,
+    subset: Collection[NodeId] | None = None,
+    interner: ColorInterner | None = None,
+    max_rounds: int = 1000,
+) -> list[Partition]:
+    """All iterates ``λ0, λ1, …`` up to and including the fixpoint.
+
+    Used by the paper-walkthrough example to reproduce Figure 4's
+    round-by-round derivation trees.
+    """
+    if interner is None:
+        interner = ColorInterner()
+        partition = Partition(
+            {node: interner.intern(("seed", color)) for node, color in partition.items()}
+        )
+    else:
+        check_interner_covers(partition, interner)
+    nodes = list(subset) if subset is not None else list(graph.nodes())
+    trace = [partition]
+    for _ in range(max_rounds):
+        refined = bisim_refine_step(graph, trace[-1], nodes, interner)
+        if refined.num_classes == trace[-1].num_classes:
+            return trace
+        trace.append(refined)
+    return trace

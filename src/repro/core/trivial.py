@@ -1,0 +1,25 @@
+"""The trivial alignment (paper Section 3.1).
+
+``λ_Trivial`` colors every non-blank node with its label and every blank
+node with its own identity, so ``Align(λ_Trivial)`` connects exactly the
+cross-version pairs of nodes carrying the same URI or literal label — the
+baseline every other method progressively improves on.
+"""
+
+from __future__ import annotations
+
+from ..model.graph import NodeId, TripleGraph
+from ..model.labels import is_blank
+from ..partition.coloring import Partition
+from ..partition.interner import Color, ColorInterner
+
+
+def trivial_partition(graph: TripleGraph, interner: ColorInterner) -> Partition:
+    """``λ_Trivial``: label equality on non-blank nodes, identity on blanks."""
+    colors: dict[NodeId, Color] = {}
+    for node, label in graph.labels().items():
+        if is_blank(label):
+            colors[node] = interner.node_color(node)
+        else:
+            colors[node] = interner.label_color(label)
+    return Partition(colors)

@@ -1,0 +1,32 @@
+"""Synthetic evolving-RDF dataset generators with ground truth."""
+
+from .dbpedia import DBpediaCategoryGenerator, DBpediaConfig
+from .efo import EFOConfig, EFOGenerator, OntologyClass
+from .ground_truth import GroundTruth
+from .gtopdb import GtoPdbConfig, GtoPdbGenerator, gtopdb_schema
+from .mutations import (
+    curation_edit,
+    edit_typo,
+    edit_word,
+    make_identifier,
+    make_name,
+    sample_fraction,
+)
+
+__all__ = [
+    "DBpediaCategoryGenerator",
+    "DBpediaConfig",
+    "EFOConfig",
+    "EFOGenerator",
+    "GroundTruth",
+    "GtoPdbConfig",
+    "GtoPdbGenerator",
+    "OntologyClass",
+    "curation_edit",
+    "edit_typo",
+    "edit_word",
+    "gtopdb_schema",
+    "make_identifier",
+    "make_name",
+    "sample_fraction",
+]

@@ -1,0 +1,464 @@
+"""A GtoPdb-like evolving relational database exported to RDF.
+
+The paper's ground-truth experiments (Figures 12–15) use ten versions of
+the Guide to Pharmacology database, exported to RDF with the W3C Direct
+Mapping and a *different URI prefix per version*, so that no URIs are
+shared and only structure and literals can drive the alignment — while the
+persistent primary keys provide an exact ground truth.
+
+This generator reproduces that setup synthetically:
+
+* a pharmacology-shaped schema (family / target / ligand / reference /
+  interaction / interaction_reference) with the same FK topology,
+* ten versions evolved with curation-style changes — steady growth, a
+  large insertion burst into version 4 and an almost-quiet transition into
+  version 8, mirroring the change profile the paper reports,
+* per-version exports ``http://gtopdb.example.org/ver<i>/…`` and entity
+  maps joining into :class:`~repro.datasets.ground_truth.GroundTruth`.
+
+Scale: ``scale=1.0`` produces a few thousand edges per version (the paper's
+millions shrunk ~500× for laptop-scale pure-Python runs); every count
+scales linearly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from decimal import Decimal
+
+from ..model.rdf import RDFGraph
+from ..model.union import CombinedGraph, combine
+from ..relational.database import KeyTuple, RelationalDatabase
+from ..relational.direct_mapping import EntityKey, direct_mapping
+from ..relational.evolution import delete_with_referents
+from ..relational.schema import Column, ColumnType, ForeignKey, Schema, Table, make_schema
+from .ground_truth import GroundTruth
+from .mutations import curation_edit, make_name, sample_fraction
+
+PHARMA_WORDS = (
+    "receptor kinase channel transporter peptide amine histamine serotonin "
+    "dopamine glutamate acetylcholine adrenergic opioid cannabinoid purine "
+    "calcitonin insulin glucagon ghrelin melatonin orexin vasopressin "
+    "oxytocin bradykinin endothelin neurotensin galanin somatostatin "
+    "adenosine muscarinic nicotinic gamma beta alpha delta kappa agonist "
+    "antagonist inhibitor blocker modulator selective potent partial "
+    "inverse competitive allosteric ionotropic metabotropic voltage gated "
+    "ligand chloride sodium potassium calcium zinc protein coupled binding "
+    "factor growth nerve tumor necrosis interleukin interferon chemokine "
+    "prostaglandin leukotriene thromboxane steroid nuclear hormone thyroid "
+    "estrogen androgen cortisol retinoic lipid sphingosine fatty acid "
+    "free bile melanocortin neuropeptide tachykinin trace urotensin relaxin "
+    "apelin motilin bombesin cholecystokinin corticotropin gonadotropin"
+).split()
+
+JOURNALS = (
+    "British Journal of Pharmacology",
+    "Nucleic Acids Research",
+    "Molecular Pharmacology",
+    "Journal of Medicinal Chemistry",
+    "Pharmacological Reviews",
+    "Trends in Pharmacological Sciences",
+)
+
+UNITS = ("pKi", "pIC50", "pEC50", "pKd", "pA2")
+ACTIONS = ("agonist", "antagonist", "inhibitor", "activator", "channel blocker")
+LIGAND_TYPES = ("synthetic organic", "peptide", "metabolite", "antibody", "natural product")
+
+
+def gtopdb_schema() -> Schema:
+    """The pharmacology-shaped schema with GtoPdb's FK topology."""
+    return make_schema(
+        [
+            Table(
+                name="family",
+                columns=(
+                    Column("family_id", ColumnType.INTEGER),
+                    Column("name", ColumnType.TEXT),
+                ),
+                primary_key=("family_id",),
+            ),
+            Table(
+                name="target",
+                columns=(
+                    Column("target_id", ColumnType.INTEGER),
+                    Column("name", ColumnType.TEXT),
+                    Column("gene_symbol", ColumnType.TEXT),
+                    Column("family_id", ColumnType.INTEGER),
+                    Column("comment", ColumnType.TEXT, nullable=True),
+                ),
+                primary_key=("target_id",),
+                foreign_keys=(ForeignKey(("family_id",), "family"),),
+            ),
+            Table(
+                name="ligand",
+                columns=(
+                    Column("ligand_id", ColumnType.INTEGER),
+                    Column("name", ColumnType.TEXT),
+                    Column("type", ColumnType.TEXT),
+                    Column("smiles", ColumnType.TEXT),
+                    Column("comment", ColumnType.TEXT, nullable=True),
+                ),
+                primary_key=("ligand_id",),
+            ),
+            Table(
+                name="reference",
+                columns=(
+                    Column("reference_id", ColumnType.INTEGER),
+                    Column("title", ColumnType.TEXT),
+                    Column("authors", ColumnType.TEXT),
+                    Column("year", ColumnType.INTEGER),
+                    Column("journal", ColumnType.TEXT),
+                ),
+                primary_key=("reference_id",),
+            ),
+            Table(
+                name="interaction",
+                columns=(
+                    Column("interaction_id", ColumnType.INTEGER),
+                    Column("ligand_id", ColumnType.INTEGER),
+                    Column("target_id", ColumnType.INTEGER),
+                    Column("affinity", ColumnType.DECIMAL),
+                    Column("units", ColumnType.TEXT),
+                    Column("action", ColumnType.TEXT),
+                ),
+                primary_key=("interaction_id",),
+                foreign_keys=(
+                    ForeignKey(("ligand_id",), "ligand"),
+                    ForeignKey(("target_id",), "target"),
+                ),
+            ),
+            Table(
+                name="interaction_reference",
+                columns=(
+                    Column("pair_id", ColumnType.INTEGER),
+                    Column("interaction_id", ColumnType.INTEGER),
+                    Column("reference_id", ColumnType.INTEGER),
+                ),
+                primary_key=("pair_id",),
+                foreign_keys=(
+                    ForeignKey(("interaction_id",), "interaction"),
+                    ForeignKey(("reference_id",), "reference"),
+                ),
+            ),
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class GtoPdbConfig:
+    """Generation parameters (counts are at ``scale = 1.0``)."""
+
+    scale: float = 1.0
+    versions: int = 10
+    seed: int = 2016
+    families: int = 12
+    targets: int = 90
+    ligands: int = 130
+    references: int = 80
+    interactions: int = 220
+    interaction_references: int = 150
+    growth: float = 0.15
+    burst_growth: float = 0.30
+    burst_version: int = 4
+    quiet_version: int = 8
+    quiet_growth: float = 0.01
+    delete_fraction: float = 0.02
+    #: The burst is churn, not just growth: retired entities are replaced
+    #: by similar new ones, which is what produces the paper's spike of
+    #: falsely aligned inserted nodes in Figure 14.
+    burst_delete_multiplier: float = 4.0
+    update_fraction: float = 0.05
+
+    def scaled(self, count: int) -> int:
+        return max(2, int(count * self.scale))
+
+
+class GtoPdbGenerator:
+    """Generates the versions, exports and ground truths lazily."""
+
+    def __init__(self, scale: float = 1.0, seed: int = 2016, versions: int = 10,
+                 config: GtoPdbConfig | None = None) -> None:
+        if config is None:
+            config = GtoPdbConfig(scale=scale, seed=seed, versions=versions)
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._schema = gtopdb_schema()
+        self._counters = {name: 0 for name in self._schema.table_names}
+        self._databases: list[RelationalDatabase] | None = None
+        self._exports: dict[int, tuple[RDFGraph, dict[EntityKey, object]]] = {}
+
+    # ------------------------------------------------------------------
+    # Row factories (fresh persistent ids per table)
+    # ------------------------------------------------------------------
+    def _next_id(self, table: str) -> int:
+        self._counters[table] += 1
+        return self._counters[table]
+
+    def _insert_family(self, db: RelationalDatabase) -> KeyTuple:
+        return db.insert(
+            "family",
+            {
+                "family_id": self._next_id("family"),
+                "name": make_name(self._rng, PHARMA_WORDS, 3) + " family",
+            },
+        )
+
+    def _insert_target(self, db: RelationalDatabase) -> KeyTuple:
+        rng = self._rng
+        family_keys = sorted(db.keys("family"))
+        target_id = self._next_id("target")
+        row = {
+            "target_id": target_id,
+            "name": make_name(rng, PHARMA_WORDS, 3),
+            "gene_symbol": f"{rng.choice(PHARMA_WORDS)[:4].upper()}{target_id}",
+            "family_id": rng.choice(family_keys)[0],
+        }
+        if rng.random() < 0.6:
+            row["comment"] = make_name(rng, PHARMA_WORDS, 6)
+        return db.insert("target", row)
+
+    def _insert_ligand(self, db: RelationalDatabase) -> KeyTuple:
+        rng = self._rng
+        smiles = "".join(
+            rng.choice(("C", "CC", "N", "O", "c1ccccc1", "C(=O)", "S", "Cl"))
+            for _ in range(rng.randint(3, 8))
+        )
+        row = {
+            "ligand_id": self._next_id("ligand"),
+            "name": make_name(rng, PHARMA_WORDS, 2),
+            "type": rng.choice(LIGAND_TYPES),
+            "smiles": smiles,
+        }
+        if rng.random() < 0.5:
+            row["comment"] = make_name(rng, PHARMA_WORDS, 5)
+        return db.insert("ligand", row)
+
+    def _insert_reference(self, db: RelationalDatabase) -> KeyTuple:
+        rng = self._rng
+        return db.insert(
+            "reference",
+            {
+                "reference_id": self._next_id("reference"),
+                "title": make_name(rng, PHARMA_WORDS, 7),
+                "authors": make_name(rng, PHARMA_WORDS, 4).title(),
+                "year": rng.randint(1995, 2016),
+                "journal": rng.choice(JOURNALS),
+            },
+        )
+
+    def _insert_interaction(self, db: RelationalDatabase) -> KeyTuple:
+        ligand_keys = sorted(db.keys("ligand"))
+        target_keys = sorted(db.keys("target"))
+        return db.insert(
+            "interaction",
+            {
+                "interaction_id": self._next_id("interaction"),
+                "ligand_id": self._rng.choice(ligand_keys)[0],
+                "target_id": self._rng.choice(target_keys)[0],
+                "affinity": Decimal(f"{self._rng.uniform(4.0, 11.0):.2f}"),
+                "units": self._rng.choice(UNITS),
+                "action": self._rng.choice(ACTIONS),
+            },
+        )
+
+    def _insert_interaction_reference(self, db: RelationalDatabase) -> KeyTuple:
+        interaction_keys = sorted(db.keys("interaction"))
+        reference_keys = sorted(db.keys("reference"))
+        return db.insert(
+            "interaction_reference",
+            {
+                "pair_id": self._next_id("interaction_reference"),
+                "interaction_id": self._rng.choice(interaction_keys)[0],
+                "reference_id": self._rng.choice(reference_keys)[0],
+            },
+        )
+
+    _INSERTERS = {
+        "family": _insert_family,
+        "target": _insert_target,
+        "ligand": _insert_ligand,
+        "reference": _insert_reference,
+        "interaction": _insert_interaction,
+        "interaction_reference": _insert_interaction_reference,
+    }
+
+    def _replace_ligand(self, db: RelationalDatabase, key: KeyTuple) -> KeyTuple:
+        """Retire a ligand and re-curate it under a fresh key.
+
+        The successor keeps the ligand's profile with a lightly edited name
+        and re-created interactions — the churn pattern behind the paper's
+        falsely aligned inserted nodes (their neighborhoods consist almost
+        entirely of previously existing nodes).
+        """
+        rng = self._rng
+        old_row = db.get("ligand", key)
+        assert old_row is not None
+        old_interactions = [
+            db.get("interaction", interaction_key)
+            for table, interaction_key in db.referencing_keys("ligand", key)
+            if table == "interaction"
+        ]
+        delete_with_referents(db, "ligand", key)
+        successor = db.insert(
+            "ligand",
+            {
+                "ligand_id": self._next_id("ligand"),
+                "name": curation_edit(rng, old_row["name"], PHARMA_WORDS),
+                "type": old_row["type"],
+                "smiles": old_row["smiles"],
+                **(
+                    {"comment": old_row["comment"]}
+                    if old_row.get("comment") is not None
+                    else {}
+                ),
+            },
+        )
+        for old_interaction in old_interactions:
+            if old_interaction is None:
+                continue
+            if db.get("target", (old_interaction["target_id"],)) is None:
+                continue
+            db.insert(
+                "interaction",
+                {
+                    "interaction_id": self._next_id("interaction"),
+                    "ligand_id": successor[0],
+                    "target_id": old_interaction["target_id"],
+                    "affinity": old_interaction["affinity"],
+                    "units": old_interaction["units"],
+                    "action": old_interaction["action"],
+                },
+            )
+        return successor
+
+    # ------------------------------------------------------------------
+    # Version construction
+    # ------------------------------------------------------------------
+    def _initial_database(self) -> RelationalDatabase:
+        cfg = self.config
+        db = RelationalDatabase(self._schema)
+        for _ in range(cfg.scaled(cfg.families)):
+            self._insert_family(db)
+        for _ in range(cfg.scaled(cfg.targets)):
+            self._insert_target(db)
+        for _ in range(cfg.scaled(cfg.ligands)):
+            self._insert_ligand(db)
+        for _ in range(cfg.scaled(cfg.references)):
+            self._insert_reference(db)
+        for _ in range(cfg.scaled(cfg.interactions)):
+            self._insert_interaction(db)
+        for _ in range(cfg.scaled(cfg.interaction_references)):
+            self._insert_interaction_reference(db)
+        return db
+
+    def _growth_for(self, version: int) -> float:
+        cfg = self.config
+        if version == cfg.burst_version:
+            return cfg.burst_growth
+        if version == cfg.quiet_version:
+            return cfg.quiet_growth
+        return cfg.growth
+
+    def _evolve(self, db: RelationalDatabase, version: int) -> RelationalDatabase:
+        cfg = self.config
+        rng = self._rng
+        new = db.copy()
+        quiet = version == cfg.quiet_version
+        churn = cfg.delete_fraction * (0.1 if quiet else 1.0)
+        update_fraction = cfg.update_fraction * (0.05 if quiet else 1.0)
+
+        # Deletions: retire some ligands and targets with their interactions.
+        for table in ("ligand", "target", "reference"):
+            for key in sample_fraction(rng, sorted(new.keys(table)), churn):
+                delete_with_referents(new, table, key)
+
+        # Re-curation churn: the burst replaces ligands by successors under
+        # fresh keys (see _replace_ligand).
+        if version == cfg.burst_version:
+            replace_fraction = cfg.delete_fraction * cfg.burst_delete_multiplier
+            for key in sample_fraction(rng, sorted(new.keys("ligand")), replace_fraction):
+                if new.get("ligand", key) is not None:
+                    self._replace_ligand(new, key)
+
+        # Updates: curation-style edits on text columns and affinities.
+        for key in sample_fraction(rng, sorted(new.keys("ligand")), update_fraction):
+            row = new.get("ligand", key)
+            assert row is not None
+            new.update("ligand", key, {"name": curation_edit(rng, row["name"], PHARMA_WORDS)})
+        for key in sample_fraction(rng, sorted(new.keys("target")), update_fraction):
+            row = new.get("target", key)
+            assert row is not None
+            new.update("target", key, {"name": curation_edit(rng, row["name"], PHARMA_WORDS)})
+        for key in sample_fraction(rng, sorted(new.keys("interaction")), update_fraction / 2):
+            new.update(
+                "interaction",
+                key,
+                {"affinity": Decimal(f"{rng.uniform(4.0, 11.0):.2f}")},
+            )
+
+        # Insertions: grow every table proportionally.
+        growth = self._growth_for(version)
+        for table in self._schema.table_names:
+            additions = int(new.count(table) * growth)
+            inserter = self._INSERTERS[table]
+            for _ in range(additions):
+                inserter(self, new)
+        return new
+
+    def databases(self) -> list[RelationalDatabase]:
+        """All versions of the relational database (computed once)."""
+        if self._databases is None:
+            versions = [self._initial_database()]
+            for version in range(2, self.config.versions + 1):
+                versions.append(self._evolve(versions[-1], version))
+            self._databases = versions
+        return self._databases
+
+    # ------------------------------------------------------------------
+    # RDF exports and ground truth
+    # ------------------------------------------------------------------
+    def base_prefix(self, version_index: int) -> str:
+        """The per-version URI prefix (1-based version numbers)."""
+        return f"http://gtopdb.example.org/ver{version_index + 1}/"
+
+    def export(self, version_index: int) -> tuple[RDFGraph, dict[EntityKey, object]]:
+        """The RDF export and entity map of one version (0-based index)."""
+        if version_index not in self._exports:
+            database = self.databases()[version_index]
+            self._exports[version_index] = direct_mapping(
+                database, self.base_prefix(version_index)
+            )
+        return self._exports[version_index]
+
+    def graph(self, version_index: int) -> RDFGraph:
+        return self.export(version_index)[0]
+
+    def graphs(self) -> list[RDFGraph]:
+        return [self.graph(i) for i in range(self.config.versions)]
+
+    def ground_truth(self, source_index: int, target_index: int) -> GroundTruth:
+        """Entity correspondence between two versions.
+
+        Persistent keys pair the minted URIs (rows, tables, attributes,
+        references); nodes carrying the *same label* in both versions —
+        literal values and version-independent vocabulary like ``rdf:type``
+        — are identical by definition and are paired with themselves.
+        """
+        source_graph, source_entities = self.export(source_index)
+        target_graph, target_entities = self.export(target_index)
+        pairs = {
+            source_entities[key]: target_entities[key]
+            for key in source_entities.keys() & target_entities.keys()
+        }
+        for node in source_graph.literals() | source_graph.uris():
+            if node in target_graph and node not in pairs:
+                pairs[node] = node
+        return GroundTruth(pairs)
+
+    def combined(self, source_index: int, target_index: int) -> tuple[CombinedGraph, GroundTruth]:
+        """The combined graph and ground truth of a version pair."""
+        return (
+            combine(self.graph(source_index), self.graph(target_index)),
+            self.ground_truth(source_index, target_index),
+        )

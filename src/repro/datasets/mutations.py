@@ -1,0 +1,84 @@
+"""Random but realistic mutation operators for evolving datasets.
+
+The paper's alignment challenges are driven by three kinds of change
+(Section 1): blank-node reshuffling, URI renames and *small edits* to
+literal values and structure.  The text mutators here produce the third
+kind: curation-style edits (a fixed typo, an added word, a changed number)
+that leave the value recognizably similar — exactly the regime `σEdit` and
+the overlap alignment are designed for.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Sequence
+
+_LETTERS = string.ascii_lowercase
+
+
+def edit_typo(rng: random.Random, text: str) -> str:
+    """One character-level edit: insert, delete or substitute."""
+    if not text:
+        return rng.choice(_LETTERS)
+    operation = rng.choice(("insert", "delete", "substitute"))
+    position = rng.randrange(len(text))
+    if operation == "insert":
+        return text[:position] + rng.choice(_LETTERS) + text[position:]
+    if operation == "delete" and len(text) > 1:
+        return text[:position] + text[position + 1:]
+    return text[:position] + rng.choice(_LETTERS) + text[position + 1:]
+
+
+def edit_word(rng: random.Random, text: str, vocabulary: Sequence[str]) -> str:
+    """One word-level edit: append, drop or replace a word."""
+    words = text.split()
+    if not words:
+        return rng.choice(vocabulary)
+    operation = rng.choice(("append", "drop", "replace"))
+    if operation == "append":
+        words.insert(rng.randrange(len(words) + 1), rng.choice(vocabulary))
+    elif operation == "drop" and len(words) > 1:
+        words.pop(rng.randrange(len(words)))
+    else:
+        words[rng.randrange(len(words))] = rng.choice(vocabulary)
+    return " ".join(words)
+
+
+def curation_edit(
+    rng: random.Random, text: str, vocabulary: Sequence[str], typo_bias: float = 0.5
+) -> str:
+    """A curation-style edit: mostly typos, sometimes a word change.
+
+    Guaranteed to return a value different from *text* (retry up to a small
+    bound, then append a marker) so that generators can rely on the edit
+    being observable.
+    """
+    for _ in range(8):
+        if rng.random() < typo_bias:
+            edited = edit_typo(rng, text)
+        else:
+            edited = edit_word(rng, text, vocabulary)
+        if edited != text:
+            return edited
+    return text + " rev"
+
+
+def make_name(rng: random.Random, vocabulary: Sequence[str], words: int) -> str:
+    """A fresh multi-word name drawn from a vocabulary."""
+    return " ".join(rng.choice(vocabulary) for _ in range(words))
+
+
+def make_identifier(rng: random.Random, prefix: str, width: int = 6) -> str:
+    """A synthetic accession-style identifier, e.g. ``EFO_004217``."""
+    return f"{prefix}{rng.randrange(10 ** width):0{width}d}"
+
+
+def sample_fraction(
+    rng: random.Random, items: Sequence, fraction: float
+) -> list:
+    """A deterministic random sample of ``⌊fraction · len(items)⌋`` items."""
+    count = int(len(items) * fraction)
+    if count <= 0:
+        return []
+    return rng.sample(list(items), min(count, len(items)))

@@ -1,0 +1,5 @@
+"""Deltas between graph versions (alignment ≅ delta, paper related work)."""
+
+from .changes import Delta, NodeChange, compute_delta, render_delta
+
+__all__ = ["Delta", "NodeChange", "compute_delta", "render_delta"]

@@ -1,0 +1,122 @@
+"""Terminal rendering of experiment results.
+
+The paper presents its evaluation as heat-map matrices, stacked bars and
+line plots; in a library these become deterministic ASCII renderings that
+the experiment runners print and the benchmark harness writes next to its
+timing output.  Everything here is pure string formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from .matrices import VersionMatrix
+
+_SHADES = " .:-=+*#%@"
+
+
+def format_number(value: Any, precision: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value and abs(value) < 10 ** -precision:
+            return f"{value:.1e}"
+        return f"{value:.{precision}f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], precision: int = 3
+) -> str:
+    """A fixed-width table with a header rule."""
+    cells = [[format_number(value, precision) for value in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in cells)) if cells else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(str(v).rjust(width) for v, width in zip(row, widths))
+
+    lines = [fmt([str(h) for h in headers]), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_matrix(
+    matrix: VersionMatrix, precision: int = 2, label: str = "tgt\\src"
+) -> str:
+    """A numeric matrix: rows are targets, columns are sources (paper axes)."""
+    headers = [label] + [str(i + 1) for i in range(matrix.size)]
+    rows = []
+    for target in range(matrix.size):
+        rows.append([str(target + 1)] + [
+            format_number(matrix[(source, target)], precision)
+            for source in range(matrix.size)
+        ])
+    return render_table(headers, rows, precision)
+
+
+def render_heatmap(matrix: VersionMatrix) -> str:
+    """A character heat map normalized over the matrix's value range."""
+    low, high = matrix.min_value(), matrix.max_value()
+    span = (high - low) or 1.0
+    lines = ["    " + " ".join(str(i + 1).rjust(2) for i in range(matrix.size))]
+    for target in range(matrix.size):
+        shades = []
+        for source in range(matrix.size):
+            fraction = (matrix[(source, target)] - low) / span
+            index = min(int(fraction * (len(_SHADES) - 1)), len(_SHADES) - 1)
+            shades.append(" " + _SHADES[index])
+        lines.append(str(target + 1).rjust(3) + " " + " ".join(shades))
+    return "\n".join(lines)
+
+
+def render_bars(
+    series: Mapping[str, float], width: int = 40, precision: int = 3
+) -> str:
+    """Horizontal bars scaled to the largest value."""
+    if not series:
+        return "(empty)"
+    peak = max(series.values()) or 1.0
+    name_width = max(len(name) for name in series)
+    lines = []
+    for name, value in series.items():
+        bar = "#" * max(1 if value > 0 else 0, int(value / peak * width))
+        lines.append(
+            f"{name.ljust(name_width)} |{bar.ljust(width)}| {format_number(value, precision)}"
+        )
+    return "\n".join(lines)
+
+
+def render_stacked_fractions(
+    rows: Sequence[tuple[str, Mapping[str, float]]],
+    categories: Sequence[str],
+    width: int = 50,
+    symbols: str = "#+.x",
+) -> str:
+    """Stacked 100 % bars (Figure 14/15's exact/inclusive/false/missing).
+
+    Each row is ``(label, {category: count})``; the bar splits *width*
+    characters proportionally to the category counts.
+    """
+    legend = "  ".join(
+        f"{symbol}={category}" for symbol, category in zip(symbols, categories)
+    )
+    label_width = max((len(label) for label, __ in rows), default=0)
+    lines = [legend]
+    for label, counts in rows:
+        total = sum(counts.get(category, 0) for category in categories) or 1
+        bar = ""
+        for symbol, category in zip(symbols, categories):
+            share = counts.get(category, 0) / total
+            bar += symbol * round(share * width)
+        bar = bar[:width].ljust(width)
+        summary = " ".join(
+            f"{category}={counts.get(category, 0)}" for category in categories
+        )
+        lines.append(f"{label.ljust(label_width)} |{bar}| {summary}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Wall-clock measurement harness (paper Figure 16).
+
+Thin, dependency-free timing utilities: the scalability experiment times
+each alignment method on each version pair and reports seconds alongside
+the input sizes.  ``pytest-benchmark`` handles the statistical micro
+benchmarks; this module covers the one-shot "how long did the experiment
+take" measurements the paper plots.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class TimedResult:
+    """A value together with the seconds it took to produce."""
+
+    seconds: float
+    value: Any
+
+
+def time_call(function: Callable[[], Any]) -> TimedResult:
+    """Run *function* once under a monotonic clock."""
+    start = time.perf_counter()
+    value = function()
+    return TimedResult(seconds=time.perf_counter() - start, value=value)
+
+
+@dataclass
+class StopwatchSeries:
+    """Named timing series over versions (method → version → seconds)."""
+
+    series: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def record(self, name: str, version: int, seconds: float) -> None:
+        self.series.setdefault(name, {})[version] = seconds
+
+    def measure(self, name: str, version: int, function: Callable[[], Any]) -> Any:
+        timed = time_call(function)
+        self.record(name, version, timed.seconds)
+        return timed.value
+
+    def names(self) -> list[str]:
+        return sorted(self.series)
+
+    def versions(self) -> list[int]:
+        versions: set[int] = set()
+        for by_version in self.series.values():
+            versions.update(by_version)
+        return sorted(versions)
+
+    def get(self, name: str, version: int) -> float:
+        return self.series[name][version]
+
+    def as_rows(self) -> list[dict[str, Any]]:
+        """One row per version with a column per series."""
+        rows = []
+        for version in self.versions():
+            row: dict[str, Any] = {"version": version}
+            for name in self.names():
+                row[name] = self.series[name].get(version)
+            rows.append(row)
+        return rows

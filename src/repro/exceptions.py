@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class GraphError(ReproError):
+    """A structural problem with a triple graph (unknown node, bad edge...)."""
+
+
+class RDFWellFormednessError(GraphError):
+    """An operation would violate the RDF graph conventions of the paper.
+
+    The conventions (paper Section 2.1): no two nodes of one RDF graph share
+    a URI or literal label, literal labels occur only in object position and
+    predicates are always URI-labeled.
+    """
+
+
+class ParseError(ReproError):
+    """Raised by the N-Triples parser on malformed input."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class PartitionError(ReproError):
+    """A partition is used with a graph it does not cover, or is malformed."""
+
+
+class AlignmentError(ReproError):
+    """An alignment query could not be answered (e.g. node on wrong side)."""
+
+
+class SchemaError(ReproError):
+    """A relational schema or instance violates its declared constraints."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was configured with invalid parameters."""

@@ -1,0 +1,72 @@
+"""Common infrastructure for the per-figure experiment runners.
+
+Every experiment module exposes
+
+* ``run(scale=…, seed=…, …) -> ExperimentResult`` — regenerate the
+  figure's rows/series at a configurable scale, and
+* ``check_shape(result) -> list[str]`` — verify the figure's *qualitative*
+  claims (who wins, where the crossovers fall); the returned list contains
+  human-readable violations and is empty when the shape holds.
+
+Absolute numbers are not expected to match the paper (the datasets are
+synthetic substitutes at laptop scale; see DESIGN.md §3) — the shape is
+the reproduction target, and the benchmark harness asserts it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    """The structured and rendered outcome of one experiment run."""
+
+    figure: str
+    title: str
+    parameters: dict[str, Any]
+    rows: list[dict[str, Any]]
+    rendered: str
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The full human-readable report."""
+        header = f"{self.figure}: {self.title}"
+        params = ", ".join(f"{k}={v}" for k, v in sorted(self.parameters.items()))
+        parts = [header, "=" * len(header), f"parameters: {params}", "", self.rendered]
+        if self.notes:
+            parts.extend(["", "notes:"] + [f"  - {note}" for note in self.notes])
+        return "\n".join(parts)
+
+    def save(self, directory: str | os.PathLike) -> str:
+        """Write the rendering and the raw rows under *directory*."""
+        os.makedirs(directory, exist_ok=True)
+        stem = self.figure.lower().replace(" ", "")
+        text_path = os.path.join(directory, f"{stem}.txt")
+        with open(text_path, "w", encoding="utf-8") as handle:
+            handle.write(self.render() + "\n")
+        json_path = os.path.join(directory, f"{stem}.json")
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "figure": self.figure,
+                    "title": self.title,
+                    "parameters": self.parameters,
+                    "rows": self.rows,
+                    "notes": self.notes,
+                },
+                handle,
+                indent=2,
+                default=str,
+            )
+        return text_path
+
+
+def assert_shape(violations: list[str]) -> None:
+    """Raise with a readable message when shape checks failed."""
+    if violations:
+        details = "\n  - ".join(violations)
+        raise AssertionError(f"figure shape violated:\n  - {details}")

@@ -1,0 +1,120 @@
+"""Figure 16 — running times on the DBpedia category subset.
+
+Trivial, Hybrid and Overlap are timed on consecutive pairs of six growing
+category-graph versions; the paper observes execution times roughly
+proportional to input size (with fluctuations from the number of
+overlapping nodes), concluding the methods scale.
+"""
+
+from __future__ import annotations
+
+from ..core.hybrid import hybrid_partition
+from ..core.trivial import trivial_partition
+from ..datasets.dbpedia import DBpediaCategoryGenerator
+from ..evaluation.reporting import render_table
+from ..evaluation.timing import StopwatchSeries
+from ..model.union import combine
+from ..partition.interner import ColorInterner
+from ..similarity.overlap_alignment import overlap_partition
+from .base import ExperimentResult
+
+FIGURE = "Figure 16"
+TITLE = "Evaluation time on a DBpedia category subset"
+
+
+def run(
+    scale: float = 0.5,
+    seed: int = 30,
+    versions: int = 6,
+    theta: float = 0.65,
+) -> ExperimentResult:
+    generator = DBpediaCategoryGenerator(scale=scale, seed=seed, versions=versions)
+    graphs = generator.graphs()
+    stopwatch = StopwatchSeries()
+    rows = []
+    for index in range(versions - 1):
+        union = combine(graphs[index], graphs[index + 1])
+        stats = union.stats()
+        trivial_interner = ColorInterner()
+        stopwatch.measure(
+            "trivial", index + 1, lambda: trivial_partition(union, trivial_interner)
+        )
+        hybrid_interner = ColorInterner()
+        hybrid = stopwatch.measure(
+            "hybrid", index + 1, lambda: hybrid_partition(union, hybrid_interner)
+        )
+        stopwatch.measure(
+            "overlap",
+            index + 1,
+            lambda: overlap_partition(
+                union, theta=theta, interner=hybrid_interner, base=hybrid
+            ),
+        )
+        rows.append(
+            {
+                "pair": f"{index + 1}->{index + 2}",
+                "nodes": stats.num_nodes,
+                "triples": stats.num_edges,
+                "trivial_s": round(stopwatch.get("trivial", index + 1), 4),
+                "hybrid_s": round(stopwatch.get("hybrid", index + 1), 4),
+                "overlap_s": round(stopwatch.get("overlap", index + 1), 4),
+            }
+        )
+    rendered = render_table(
+        ["pair", "nodes", "triples", "Trivial (s)", "Hybrid (s)", "Overlap (s)"],
+        [
+            [
+                row["pair"],
+                row["nodes"],
+                row["triples"],
+                row["trivial_s"],
+                row["hybrid_s"],
+                row["overlap_s"],
+            ]
+            for row in rows
+        ],
+        precision=4,
+    )
+    return ExperimentResult(
+        figure=FIGURE,
+        title=TITLE,
+        parameters={"scale": scale, "seed": seed, "versions": versions, "theta": theta},
+        rows=rows,
+        rendered=rendered,
+        notes=[
+            "paper: times grow roughly proportionally to input size",
+            "paper: Trivial ≤ Hybrid ≤ Overlap per pair",
+        ],
+    )
+
+
+def check_shape(result: ExperimentResult) -> list[str]:
+    violations: list[str] = []
+    rows = result.rows
+    # Method ordering on medians across pairs (single-pair timings at
+    # millisecond scale are too noisy for per-row assertions).
+    def median(name: str) -> float:
+        values = sorted(row[name] for row in rows)
+        return values[len(values) // 2]
+
+    if median("trivial_s") > median("hybrid_s") * 1.5:
+        violations.append(
+            f"trivial slower than 1.5x hybrid on medians "
+            f"({median('trivial_s')} vs {median('hybrid_s')})"
+        )
+    if median("hybrid_s") > median("overlap_s") * 1.5:
+        violations.append(
+            f"hybrid slower than 1.5x overlap on medians "
+            f"({median('hybrid_s')} vs {median('overlap_s')})"
+        )
+    # Proportionality: the largest input should not be markedly faster than
+    # the smallest on the dominant (overlap) cost.  A 30 % tolerance absorbs
+    # millisecond-scale noise at small scales.
+    biggest = max(rows, key=lambda row: row["triples"])
+    smallest = min(rows, key=lambda row: row["triples"])
+    if biggest["overlap_s"] < smallest["overlap_s"] * 0.7:
+        violations.append(
+            "overlap time shrinks as inputs grow "
+            f"({smallest['overlap_s']}s -> {biggest['overlap_s']}s)"
+        )
+    return violations

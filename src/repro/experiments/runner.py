@@ -1,0 +1,90 @@
+"""Run all (or selected) figure experiments and save their reports.
+
+Usage from Python::
+
+    from repro.experiments.runner import run_experiments
+    results = run_experiments(["figure13"], scale=0.5, out_dir="results")
+
+or from the command line: ``rdf-align experiment figure13 --scale 0.5``.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+from typing import Any, Callable, Iterable
+
+from ..exceptions import ExperimentError
+from . import (
+    extensions,
+    figure09,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+)
+from .base import ExperimentResult
+
+#: Registry: experiment name → module with run()/check_shape().
+EXPERIMENTS: dict[str, ModuleType] = {
+    "figure09": figure09,
+    "figure10": figure10,
+    "figure11": figure11,
+    "figure12": figure12,
+    "figure13": figure13,
+    "figure14": figure14,
+    "figure15": figure15,
+    "figure16": figure16,
+    "extensions": extensions,
+}
+
+
+def experiment_module(name: str) -> ModuleType:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+
+
+def run_experiments(
+    names: Iterable[str] | None = None,
+    out_dir: str | None = None,
+    check: bool = True,
+    progress: Callable[[str], Any] | None = None,
+    **parameters: Any,
+) -> dict[str, ExperimentResult]:
+    """Run the named experiments (all by default).
+
+    *parameters* are forwarded to each experiment's ``run`` (unknown keys
+    are filtered per experiment).  With ``check=True`` the shape checks run
+    and their violations are appended to the result notes.
+    """
+    import inspect
+
+    selected = list(names) if names else sorted(EXPERIMENTS)
+    results: dict[str, ExperimentResult] = {}
+    for name in selected:
+        module = experiment_module(name)
+        if progress is not None:
+            progress(f"running {name} ...")
+        signature = inspect.signature(module.run)
+        accepted = {
+            key: value
+            for key, value in parameters.items()
+            if key in signature.parameters
+        }
+        result = module.run(**accepted)
+        if check:
+            violations = module.check_shape(result)
+            if violations:
+                result.notes.append("SHAPE VIOLATIONS: " + "; ".join(violations))
+            else:
+                result.notes.append("shape check: OK")
+        if out_dir is not None:
+            result.save(out_dir)
+        results[name] = result
+    return results

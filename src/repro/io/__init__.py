@@ -1,0 +1,19 @@
+"""Serialization: N-Triples parser/serializer, Turtle writer, canonical dumps."""
+
+from . import canonical, ntriples, turtle
+from .canonical import canonical_blank_labels, canonical_dumps
+from .ntriples import dump, dump_path, dumps, load, load_path, loads
+
+__all__ = [
+    "canonical",
+    "canonical_blank_labels",
+    "canonical_dumps",
+    "dump",
+    "dump_path",
+    "dumps",
+    "load",
+    "load_path",
+    "loads",
+    "ntriples",
+    "turtle",
+]

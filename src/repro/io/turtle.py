@@ -1,0 +1,73 @@
+"""A minimal Turtle *writer* with prefix compaction.
+
+Turtle output is for human inspection of generated datasets (the canonical
+interchange format of this library is N-Triples, which round-trips).  The
+writer groups triples by subject, compacts URIs against a caller-supplied
+prefix map and emits ``a`` for ``rdf:type``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..model.labels import Literal, URI
+from ..model.namespaces import RDF
+from ..model.rdf import BlankNode, RDFGraph, Term
+from .ntriples import _escape_literal
+
+_RDF_TYPE = RDF["type"]
+
+
+def _compact(term: URI, prefixes: Mapping[str, str]) -> str:
+    for prefix, base in prefixes.items():
+        if term.value.startswith(base):
+            local = term.value[len(base):]
+            if local and all(c.isalnum() or c in "-_." for c in local):
+                return f"{prefix}:{local}"
+    return f"<{term.value}>"
+
+
+def _format(term: Term, prefixes: Mapping[str, str]) -> str:
+    if isinstance(term, URI):
+        return _compact(term, prefixes)
+    if isinstance(term, BlankNode):
+        return f"_:{term.name}"
+    if isinstance(term, Literal):
+        rendered = f'"{_escape_literal(term.value)}"'
+        if term.language is not None:
+            rendered += f"@{term.language}"
+        elif term.datatype is not None:
+            rendered += "^^" + _compact(URI(term.datatype), prefixes)
+        return rendered
+    raise TypeError(f"not an RDF term: {term!r}")
+
+
+def dumps(graph: RDFGraph, prefixes: Mapping[str, str] | None = None) -> str:
+    """Serialize *graph* as Turtle.
+
+    *prefixes* maps prefix names to base URIs, e.g. ``{"rdf": RDF.prefix}``.
+    """
+    prefixes = dict(prefixes or {})
+    lines = [f"@prefix {name}: <{base}> ." for name, base in sorted(prefixes.items())]
+    if lines:
+        lines.append("")
+
+    by_subject: dict[str, list[tuple[str, str]]] = {}
+    for subject, predicate, obj in graph.triples():
+        subject_text = _format(subject, prefixes)
+        if predicate == _RDF_TYPE:
+            predicate_text = "a"
+        else:
+            predicate_text = _format(predicate, prefixes)
+        by_subject.setdefault(subject_text, []).append(
+            (predicate_text, _format(obj, prefixes))
+        )
+
+    for subject_text in sorted(by_subject):
+        pairs = sorted(by_subject[subject_text])
+        parts = [f"{subject_text} "]
+        for index, (predicate_text, object_text) in enumerate(pairs):
+            separator = " ;\n    " if index < len(pairs) - 1 else " .\n"
+            parts.append(f"{predicate_text} {object_text}{separator}")
+        lines.append("".join(parts))
+    return "\n".join(lines)

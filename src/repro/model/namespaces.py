@@ -1,0 +1,67 @@
+"""Well-known RDF namespaces and a tiny namespace helper.
+
+The generators and the direct-mapping exporter mint URIs inside namespaces;
+:class:`Namespace` keeps that readable (``RDF.term("type")``) and the
+constants below cover the vocabularies the paper's datasets use (RDF, RDFS,
+OWL for EFO-like ontologies; SKOS/DCT for the DBpedia category subset; XSD
+for typed literals from the relational export).
+"""
+
+from __future__ import annotations
+
+from .labels import URI
+
+
+class Namespace:
+    """A URI prefix that mints terms: ``Namespace("http://x#")["type"]``."""
+
+    __slots__ = ("_prefix",)
+
+    def __init__(self, prefix: str) -> None:
+        self._prefix = prefix
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def term(self, local_name: str) -> URI:
+        """The URI ``prefix + local_name``."""
+        return URI(self._prefix + local_name)
+
+    def __getitem__(self, local_name: str) -> URI:
+        return self.term(local_name)
+
+    def __contains__(self, candidate: URI) -> bool:
+        """Does *candidate* live inside this namespace?"""
+        return candidate.value.startswith(self._prefix)
+
+    def local_name(self, candidate: URI) -> str:
+        """Strip the prefix from a URI of this namespace."""
+        if candidate not in self:
+            raise ValueError(f"{candidate!r} is not in namespace {self._prefix!r}")
+        return candidate.value[len(self._prefix):]
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._prefix!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+SKOS = Namespace("http://www.w3.org/2004/02/skos/core#")
+DCT = Namespace("http://purl.org/dc/terms/")
+OBO_OLD = Namespace("http://purl.org/obo/owl/")
+OBO_NEW = Namespace("http://purl.obolibrary.org/obo/")
+
+RDF_TYPE = RDF["type"]
+RDFS_LABEL = RDFS["label"]
+RDFS_SUBCLASS_OF = RDFS["subClassOf"]
+RDFS_COMMENT = RDFS["comment"]
+OWL_CLASS = OWL["Class"]
+SKOS_BROADER = SKOS["broader"]
+SKOS_PREF_LABEL = SKOS["prefLabel"]
+DCT_SUBJECT = DCT["subject"]
+XSD_INTEGER = XSD["integer"].value
+XSD_DECIMAL = XSD["decimal"].value
+XSD_STRING = XSD["string"].value

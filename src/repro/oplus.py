@@ -1,0 +1,51 @@
+"""The capped addition operator ``⊕`` (paper Section 4.1).
+
+Distances live in ``[0, 1]``; combining two of them must stay in range and
+remain compatible with the triangle inequality.  The paper's rudimentary
+definition, which we adopt as the default, is ``x ⊕ y = min(x + y, 1)``.
+
+Alternative operators satisfying the same requirement are provided for the
+ablation benchmarks: the probabilistic sum and the max (Łukasiewicz-style
+co-norms); all are monotone, commutative, associative, have 0 as the
+neutral element and are bounded by 1.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Callable, Iterable
+
+#: Signature of a combination operator.
+OplusOperator = Callable[[float, float], float]
+
+
+def oplus(x: float, y: float) -> float:
+    """``x ⊕ y = min(x + y, 1)`` — the paper's operator."""
+    total = x + y
+    return total if total < 1.0 else 1.0
+
+
+def oplus_probabilistic(x: float, y: float) -> float:
+    """Probabilistic sum ``x + y − x·y`` (always ≤ min(x+y, 1))."""
+    return x + y - x * y
+
+
+def oplus_max(x: float, y: float) -> float:
+    """``max(x, y)`` — the Chebyshev-style combination."""
+    return x if x >= y else y
+
+
+def oplus_sum(values: Iterable[float], operator: OplusOperator = oplus) -> float:
+    """Fold ``⊕`` over many values (``⊕{...}`` in the paper's notation).
+
+    The empty combination is 0, the neutral element.
+    """
+    return reduce(operator, values, 0.0)
+
+
+#: Named operators for configuration and the ablation benches.
+OPERATORS: dict[str, OplusOperator] = {
+    "capped": oplus,
+    "probabilistic": oplus_probabilistic,
+    "max": oplus_max,
+}

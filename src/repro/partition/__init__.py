@@ -1,0 +1,42 @@
+"""Partitions, colors, alignments and weighted partitions."""
+
+from .alignment import (
+    ClassSides,
+    PartitionAlignment,
+    align,
+    has_crossover_property,
+    unaligned_nodes,
+    unaligned_non_literals,
+)
+from .coloring import (
+    Partition,
+    discrete_partition,
+    label_partition,
+    relation_from_partition,
+)
+from .derivation import DerivationTree, derivation_tree, render_color, render_tree
+from .interner import BLANK_KEY, Color, ColorInterner
+from .weighted import WeightedPartition, align_threshold, zero_weighted
+
+__all__ = [
+    "BLANK_KEY",
+    "ClassSides",
+    "Color",
+    "ColorInterner",
+    "DerivationTree",
+    "Partition",
+    "PartitionAlignment",
+    "WeightedPartition",
+    "align",
+    "align_threshold",
+    "derivation_tree",
+    "discrete_partition",
+    "has_crossover_property",
+    "label_partition",
+    "relation_from_partition",
+    "render_color",
+    "render_tree",
+    "unaligned_nodes",
+    "unaligned_non_literals",
+    "zero_weighted",
+]

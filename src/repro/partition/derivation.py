@@ -1,0 +1,104 @@
+"""Derivation trees of interned colors (paper Figures 4–6).
+
+Every color produced by the refinement process is "essentially a derivation
+tree rooted at the node"; the interner stores that tree as a DAG of keys.
+This module reconstructs the tree for inspection: it is what lets the
+example scripts reproduce the paper's Figure 4 (fixpoint color computation)
+and Figures 5–6 (colors of blank nodes under Deblank/Hybrid) as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from .interner import Color, ColorInterner
+
+
+@dataclass(frozen=True)
+class DerivationTree:
+    """A (truncated) expansion of a color into its derivation tree.
+
+    ``head`` is a human-readable description of the root, ``children`` are
+    the subtrees of the out-pairs that make up a refinement step, kept as
+    (predicate subtree, object subtree) pairs.
+    """
+
+    head: str
+    children: tuple[tuple["DerivationTree", "DerivationTree"], ...] = field(
+        default_factory=tuple
+    )
+    truncated: bool = False
+
+    @property
+    def depth(self) -> int:
+        if not self.children:
+            return 0
+        return 1 + max(
+            max(p.depth, o.depth) for p, o in self.children
+        )
+
+    def size(self) -> int:
+        """Number of tree nodes (root counts as 1)."""
+        return 1 + sum(p.size() + o.size() for p, o in self.children)
+
+
+def _describe(key: Hashable) -> str:
+    if not isinstance(key, tuple) or not key:
+        return repr(key)
+    tag = key[0]
+    if tag == "label":
+        return str(key[1])
+    if tag == "node":
+        return f"node:{key[1]!r}"
+    if tag == "blank":
+        return "⊥"
+    if tag == "component":
+        return f"component#{key[2]}@{key[1]}"
+    if tag == "recolor":
+        return "recolor"
+    return repr(key)
+
+
+def derivation_tree(
+    interner: ColorInterner, color: Color, max_depth: int = 10
+) -> DerivationTree:
+    """Expand *color* into its derivation tree, cut off at *max_depth*.
+
+    Recolor keys unfold into their constituent colors; all other keys are
+    leaves.  The cutoff makes cyclic color references (which arise on
+    cyclic graphs before the fixpoint is reached) safe to print.
+    """
+    key = interner.key(color)
+    if not (isinstance(key, tuple) and key and key[0] == "recolor"):
+        return DerivationTree(head=_describe(key))
+    _, base_color, out_pairs = key
+    base_key = interner.key(base_color)
+    head = _describe(base_key) if not (
+        isinstance(base_key, tuple) and base_key and base_key[0] == "recolor"
+    ) else "recolor"
+    if max_depth <= 0:
+        return DerivationTree(head=head, truncated=True)
+    children = tuple(
+        (
+            derivation_tree(interner, p_color, max_depth - 1),
+            derivation_tree(interner, o_color, max_depth - 1),
+        )
+        for p_color, o_color in out_pairs
+    )
+    return DerivationTree(head=head, children=children)
+
+
+def render_tree(tree: DerivationTree, indent: str = "") -> str:
+    """Pretty-print a derivation tree, one node per line."""
+    suffix = " …" if tree.truncated else ""
+    lines = [f"{indent}{tree.head}{suffix}"]
+    for predicate_tree, object_tree in tree.children:
+        lines.append(render_tree(predicate_tree, indent + "  ├p "))
+        lines.append(render_tree(object_tree, indent + "  └o "))
+    return "\n".join(lines)
+
+
+def render_color(interner: ColorInterner, color: Color, max_depth: int = 10) -> str:
+    """Convenience: expand and render a color in one call."""
+    return render_tree(derivation_tree(interner, color, max_depth))

@@ -1,0 +1,44 @@
+"""Mini relational database substrate and the W3C Direct Mapping to RDF."""
+
+from .database import KeyTuple, RelationalDatabase, Row
+from .direct_mapping import (
+    EntityKey,
+    attribute_uri,
+    direct_mapping,
+    reference_uri,
+    row_uri,
+    table_uri,
+    value_literal,
+)
+from .evolution import (
+    bulk_update,
+    changed_rows,
+    delete_with_referents,
+    diff_keys,
+    next_version,
+)
+from .schema import Column, ColumnType, ForeignKey, Schema, Table, make_schema
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "EntityKey",
+    "ForeignKey",
+    "KeyTuple",
+    "RelationalDatabase",
+    "Row",
+    "Schema",
+    "Table",
+    "attribute_uri",
+    "bulk_update",
+    "changed_rows",
+    "delete_with_referents",
+    "diff_keys",
+    "direct_mapping",
+    "make_schema",
+    "next_version",
+    "reference_uri",
+    "row_uri",
+    "table_uri",
+    "value_literal",
+]

@@ -1,0 +1,138 @@
+"""Relational schemas: tables, columns, primary and foreign keys.
+
+The GtoPdb experiments (paper Section 5.2) align RDF *exports* of a
+relational database.  This module is the schema half of that substrate: a
+typed schema with declared primary keys and foreign keys, which both the
+integrity checks of :mod:`repro.relational.database` and the direct
+mapping of :mod:`repro.relational.direct_mapping` are driven by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+from ..exceptions import SchemaError
+
+
+class ColumnType(Enum):
+    """Scalar column types (mapped to XSD datatypes by the direct mapping)."""
+
+    TEXT = "text"
+    INTEGER = "integer"
+    DECIMAL = "decimal"
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """One column: a name, a type and a nullability flag."""
+
+    name: str
+    type: ColumnType = ColumnType.TEXT
+    nullable: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class ForeignKey:
+    """``columns`` of this table reference the primary key of ``references``."""
+
+    columns: tuple[str, ...]
+    references: str
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SchemaError("a foreign key needs at least one column")
+
+
+@dataclass(frozen=True)
+class Table:
+    """A table definition: columns, primary key, foreign keys."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...]
+    foreign_keys: tuple[ForeignKey, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"table {self.name!r} has duplicate column names")
+        missing = set(self.primary_key) - set(names)
+        if missing:
+            raise SchemaError(
+                f"table {self.name!r} primary key uses unknown columns {sorted(missing)}"
+            )
+        if not self.primary_key:
+            raise SchemaError(f"table {self.name!r} needs a primary key")
+        for fk in self.foreign_keys:
+            unknown = set(fk.columns) - set(names)
+            if unknown:
+                raise SchemaError(
+                    f"table {self.name!r} foreign key uses unknown columns {sorted(unknown)}"
+                )
+
+    def column(self, name: str) -> Column:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def value_columns(self) -> tuple[Column, ...]:
+        """Columns that are neither part of the key nor a foreign key.
+
+        These become literal-valued edges under the direct mapping.
+        """
+        fk_columns = {c for fk in self.foreign_keys for c in fk.columns}
+        return tuple(
+            column
+            for column in self.columns
+            if column.name not in fk_columns
+        )
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A set of tables with cross-table foreign-key validation."""
+
+    tables: tuple[Table, ...]
+
+    def __post_init__(self) -> None:
+        names = [table.name for table in self.tables]
+        if len(names) != len(set(names)):
+            raise SchemaError("duplicate table names in schema")
+        by_name = {table.name: table for table in self.tables}
+        for table in self.tables:
+            for fk in table.foreign_keys:
+                target = by_name.get(fk.references)
+                if target is None:
+                    raise SchemaError(
+                        f"table {table.name!r} references unknown table {fk.references!r}"
+                    )
+                if len(fk.columns) != len(target.primary_key):
+                    raise SchemaError(
+                        f"foreign key {table.name}.{fk.columns} does not match the "
+                        f"arity of {target.name}'s primary key {target.primary_key}"
+                    )
+
+    def table(self, name: str) -> Table:
+        for table in self.tables:
+            if table.name == name:
+                return table
+        raise SchemaError(f"schema has no table {name!r}")
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(table.name for table in self.tables)
+
+    def __iter__(self):
+        return iter(self.tables)
+
+
+def make_schema(tables: Iterable[Table]) -> Schema:
+    """Build and validate a schema."""
+    return Schema(tuple(tables))

@@ -1,0 +1,142 @@
+"""The Hungarian algorithm for the assignment problem [9].
+
+`σEdit` matches the outgoing edges of two nodes optimally; the paper uses
+the Hungarian algorithm for that (Example 5).  This is a from-scratch
+implementation of the O(n³) shortest-augmenting-path formulation (also
+known as the Jonker–Volgenant variant of Kuhn–Munkres); the test suite
+cross-checks it against ``scipy.optimize.linear_sum_assignment`` on random
+instances and the micro benchmark compares their speed.
+
+:func:`solve_assignment` handles rectangular matrices by operating on the
+smaller dimension; :func:`matching_with_deletion` implements the
+graph-edit-distance convention where leaving an element unmatched costs a
+fixed penalty.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_INF = float("inf")
+
+
+def solve_assignment(cost: Sequence[Sequence[float]]) -> tuple[list[int], float]:
+    """Minimal-cost assignment of rows to columns.
+
+    For an ``n × m`` matrix with ``n ≤ m`` every row is assigned a distinct
+    column; for ``n > m`` every column is assigned (unassigned rows get
+    ``-1``).  Returns ``(assignment, total)`` where ``assignment[i]`` is the
+    column of row ``i`` or ``-1``.
+
+    >>> solve_assignment([[1.0, 2.0], [2.0, 1.0]])
+    ([0, 1], 2.0)
+    """
+    rows = len(cost)
+    if rows == 0:
+        return [], 0.0
+    cols = len(cost[0])
+    if any(len(row) != cols for row in cost):
+        raise ValueError("cost matrix is ragged")
+    if cols == 0:
+        return [-1] * rows, 0.0
+    if rows > cols:
+        transposed = [[cost[i][j] for i in range(rows)] for j in range(cols)]
+        col_assignment, total = solve_assignment(transposed)
+        assignment = [-1] * rows
+        for j, i in enumerate(col_assignment):
+            assignment[i] = j
+        return assignment, total
+    return _solve_rows_leq_cols(cost, rows, cols)
+
+
+def _solve_rows_leq_cols(
+    cost: Sequence[Sequence[float]], rows: int, cols: int
+) -> tuple[list[int], float]:
+    """Shortest-augmenting-path Hungarian for ``rows ≤ cols``.
+
+    1-indexed potentials over rows (``u``) and columns (``v``);
+    ``assigned_row[j]`` is the row currently matched to column ``j``.
+    """
+    u = [0.0] * (rows + 1)
+    v = [0.0] * (cols + 1)
+    assigned_row = [0] * (cols + 1)  # 0 = free column
+    predecessor = [0] * (cols + 1)
+
+    for row in range(1, rows + 1):
+        assigned_row[0] = row
+        min_to_column = [_INF] * (cols + 1)
+        visited = [False] * (cols + 1)
+        current_col = 0
+        while True:
+            visited[current_col] = True
+            current_row = assigned_row[current_col]
+            delta = _INF
+            next_col = -1
+            for col in range(1, cols + 1):
+                if visited[col]:
+                    continue
+                reduced = cost[current_row - 1][col - 1] - u[current_row] - v[col]
+                if reduced < min_to_column[col]:
+                    min_to_column[col] = reduced
+                    predecessor[col] = current_col
+                if min_to_column[col] < delta:
+                    delta = min_to_column[col]
+                    next_col = col
+            for col in range(cols + 1):
+                if visited[col]:
+                    u[assigned_row[col]] += delta
+                    v[col] -= delta
+                else:
+                    min_to_column[col] -= delta
+            current_col = next_col
+            if assigned_row[current_col] == 0:
+                break
+        # Augment along the found path.
+        while current_col != 0:
+            previous_col = predecessor[current_col]
+            assigned_row[current_col] = assigned_row[previous_col]
+            current_col = previous_col
+
+    assignment = [-1] * rows
+    total = 0.0
+    for col in range(1, cols + 1):
+        if assigned_row[col] != 0:
+            assignment[assigned_row[col] - 1] = col - 1
+            total += cost[assigned_row[col] - 1][col - 1]
+    return assignment, total
+
+
+def matching_with_deletion(
+    cost: Sequence[Sequence[float]], deletion_cost: float = 1.0
+) -> tuple[list[tuple[int, int]], float]:
+    """Optimal matching where elements may stay unmatched at a fixed cost.
+
+    Given an ``n × m`` cost matrix between two edge sets, find the matching
+    minimizing ``Σ matched costs + deletion_cost · #unmatched`` — the
+    graph-edit-distance convention `σEdit` uses for outbound neighborhoods.
+    Returns the matched index pairs and the *total* (matched + deletions).
+
+    Implemented by the standard square embedding of size ``n + m``: the
+    top-right and bottom-left blocks are diagonal deletion costs, the
+    bottom-right block is zero.
+    """
+    n = len(cost)
+    m = len(cost[0]) if n else 0
+    if n == 0 and m == 0:
+        return [], 0.0
+    size = n + m
+    square = [[0.0] * size for _ in range(size)]
+    for i in range(n):
+        for j in range(m):
+            square[i][j] = cost[i][j]
+        for j in range(m, size):
+            square[i][j] = deletion_cost if j - m == i else _INF
+    for i in range(n, size):
+        for j in range(m):
+            square[i][j] = deletion_cost if i - n == j else _INF
+        # bottom-right block stays 0.0
+    assignment, total = solve_assignment(square)
+    pairs = [
+        (i, assignment[i]) for i in range(n) if 0 <= assignment[i] < m
+    ]
+    return pairs, total

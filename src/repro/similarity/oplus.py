@@ -1,0 +1,25 @@
+"""Re-export of the ``⊕`` operators.
+
+The implementation lives in :mod:`repro.oplus` (a dependency-free module)
+so that :mod:`repro.partition.weighted` can use ``⊕`` without importing the
+whole similarity package; this alias keeps the paper-facing location —
+``⊕`` is introduced in the similarity section (4.1) — importable.
+"""
+
+from ..oplus import (
+    OPERATORS,
+    OplusOperator,
+    oplus,
+    oplus_max,
+    oplus_probabilistic,
+    oplus_sum,
+)
+
+__all__ = [
+    "OPERATORS",
+    "OplusOperator",
+    "oplus",
+    "oplus_max",
+    "oplus_probabilistic",
+    "oplus_sum",
+]

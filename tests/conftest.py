@@ -1,0 +1,150 @@
+"""Shared fixtures: the paper's worked-example graphs and random generators.
+
+The fixtures named ``figure*`` reconstruct the graphs of the paper's
+figures; regression tests pin the published behaviour against them.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.model import CombinedGraph, RDFGraph, blank, combine, lit, uri
+
+
+@pytest.fixture
+def figure1_graphs() -> tuple[RDFGraph, RDFGraph]:
+    """Paper Figure 1: two versions of personal information about 'ss'.
+
+    Version 2 fixes the first name, drops the middle name and renames the
+    University of Edinburgh URI from ``ed-uni`` to ``uoe``.
+    """
+    v1 = RDFGraph()
+    v1.add(uri("ss"), uri("address"), blank("b1"))
+    v1.add(uri("ss"), uri("employer"), uri("ed-uni"))
+    v1.add(uri("ss"), uri("name"), blank("b2"))
+    v1.add(blank("b1"), uri("zip"), lit("EH8"))
+    v1.add(blank("b1"), uri("city"), lit("Edinburgh"))
+    v1.add(uri("ed-uni"), uri("name"), lit("University of Edinburgh"))
+    v1.add(uri("ed-uni"), uri("city"), lit("Edinburgh"))
+    v1.add(blank("b2"), uri("first"), lit("Sławek"))
+    v1.add(blank("b2"), uri("middle"), lit("Paweł"))
+    v1.add(blank("b2"), uri("last"), lit("Staworko"))
+
+    v2 = RDFGraph()
+    v2.add(uri("ss"), uri("address"), blank("b3"))
+    v2.add(uri("ss"), uri("employer"), uri("uoe"))
+    v2.add(uri("ss"), uri("name"), blank("b4"))
+    v2.add(blank("b3"), uri("zip"), lit("EH8"))
+    v2.add(blank("b3"), uri("city"), lit("Edinburgh"))
+    v2.add(uri("uoe"), uri("name"), lit("University of Edinburgh"))
+    v2.add(uri("uoe"), uri("city"), lit("Edinburgh"))
+    v2.add(blank("b4"), uri("first"), lit("Sławomir"))
+    v2.add(blank("b4"), uri("last"), lit("Staworko"))
+    return v1, v2
+
+
+@pytest.fixture
+def figure2_graph() -> RDFGraph:
+    """Paper Figure 2: the RDF graph whose nodes b2 and b3 are bisimilar."""
+    g = RDFGraph()
+    g.add(uri("w"), uri("p"), blank("b1"))
+    g.add(uri("w"), uri("q"), uri("u"))
+    g.add(blank("b1"), uri("q"), blank("b2"))
+    g.add(blank("b1"), uri("r"), blank("b3"))
+    g.add(blank("b2"), uri("r"), uri("u"))
+    g.add(blank("b2"), uri("q"), lit("a"))
+    g.add(blank("b3"), uri("r"), uri("u"))
+    g.add(blank("b3"), uri("q"), lit("a"))
+    return g
+
+
+@pytest.fixture
+def figure3_graphs() -> tuple[RDFGraph, RDFGraph]:
+    """Paper Figure 3: b2/b3 merged into b4, URI u renamed to v, b1 ≙ b5."""
+    g1 = RDFGraph()
+    g1.add(uri("w"), uri("p"), blank("b1"))
+    g1.add(uri("w"), uri("p"), blank("b2"))
+    g1.add(uri("w"), uri("p"), blank("b3"))
+    g1.add(uri("w"), uri("q"), uri("u"))
+    g1.add(blank("b1"), uri("q"), lit("a"))
+    g1.add(blank("b1"), uri("r"), uri("u"))
+    g1.add(blank("b2"), uri("q"), lit("b"))
+    g1.add(blank("b3"), uri("q"), lit("b"))
+
+    g2 = RDFGraph()
+    g2.add(uri("w"), uri("p"), blank("b5"))
+    g2.add(uri("w"), uri("p"), blank("b4"))
+    g2.add(uri("w"), uri("q"), uri("v"))
+    g2.add(blank("b5"), uri("q"), lit("a"))
+    g2.add(blank("b5"), uri("r"), uri("v"))
+    g2.add(blank("b4"), uri("q"), lit("b"))
+    return g1, g2
+
+
+@pytest.fixture
+def figure3_combined(figure3_graphs) -> CombinedGraph:
+    return combine(*figure3_graphs)
+
+
+@pytest.fixture
+def figure7_graphs() -> tuple[RDFGraph, RDFGraph]:
+    """Paper Figure 7: the σEdit worked example.
+
+    The second version renames the inner URIs (w → w2 etc.), drops the
+    edge to literal "b" and edits "abc" into "ac".
+    """
+    g1 = RDFGraph()
+    g1.add(uri("w"), uri("r"), uri("u"))
+    g1.add(uri("w"), uri("q"), uri("v"))
+    g1.add(uri("u"), uri("p"), lit("a"))
+    g1.add(uri("u"), uri("p"), lit("b"))
+    g1.add(uri("u"), uri("q"), lit("c"))
+    g1.add(uri("v"), uri("p"), lit("abc"))
+    g1.add(uri("v"), uri("q"), lit("c"))
+
+    g2 = RDFGraph()
+    g2.add(uri("w2"), uri("r"), uri("u2"))
+    g2.add(uri("w2"), uri("q"), uri("v2"))
+    g2.add(uri("u2"), uri("p"), lit("a"))
+    g2.add(uri("u2"), uri("q"), lit("c"))
+    g2.add(uri("v2"), uri("p"), lit("ac"))
+    g2.add(uri("v2"), uri("q"), lit("c"))
+    return g1, g2
+
+
+@pytest.fixture
+def figure7_combined(figure7_graphs) -> CombinedGraph:
+    return combine(*figure7_graphs)
+
+
+def random_rdf_graph(
+    rng: random.Random,
+    num_uris: int = 6,
+    num_literals: int = 4,
+    num_blanks: int = 4,
+    num_edges: int = 15,
+    uri_prefix: str = "n",
+) -> RDFGraph:
+    """A small random RDF graph for property tests and cross-checks."""
+    graph = RDFGraph()
+    uris = [uri(f"{uri_prefix}{i}") for i in range(num_uris)]
+    literals = [lit(f"value {i}") for i in range(num_literals)]
+    blanks = [blank(f"{uri_prefix}b{i}") for i in range(num_blanks)]
+    for term in uris + literals:
+        graph.term(term)
+    for term in blanks:
+        graph.term(term)
+    subjects = uris + blanks
+    objects = uris + blanks + literals
+    for _ in range(num_edges):
+        graph.add(
+            rng.choice(subjects), rng.choice(uris), rng.choice(objects)
+        )
+    return graph
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20160912)

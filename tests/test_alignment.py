@@ -1,0 +1,116 @@
+"""Unit tests for partition alignments (repro.partition.alignment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import RDFGraph, blank, combine, lit, uri
+from repro.partition.alignment import (
+    PartitionAlignment,
+    align,
+    has_crossover_property,
+    unaligned_nodes,
+    unaligned_non_literals,
+)
+from repro.partition.coloring import Partition
+from repro.partition.interner import ColorInterner
+from repro.core.trivial import trivial_partition
+
+
+@pytest.fixture
+def simple_union():
+    g1 = RDFGraph()
+    g1.add(uri("a"), uri("p"), lit("x"))
+    g1.add(uri("only1"), uri("p"), lit("x"))
+    g2 = RDFGraph()
+    g2.add(uri("a"), uri("p"), lit("x"))
+    g2.add(uri("only2"), uri("p"), lit("y"))
+    return combine(g1, g2)
+
+
+class TestTrivialAlignment:
+    def test_label_equality_pairs(self, simple_union):
+        part = trivial_partition(simple_union, ColorInterner())
+        alignment = align(simple_union, part)
+        a1 = simple_union.from_source(uri("a"))
+        a2 = simple_union.from_target(uri("a"))
+        assert alignment.aligned(a1, a2)
+        assert alignment.partners(a1) == {a2}
+
+    def test_unaligned_sets(self, simple_union):
+        part = trivial_partition(simple_union, ColorInterner())
+        alignment = align(simple_union, part)
+        assert simple_union.from_source(uri("only1")) in alignment.unaligned_source()
+        assert simple_union.from_target(uri("only2")) in alignment.unaligned_target()
+        assert simple_union.from_target(lit("y")) in alignment.unaligned_target()
+        assert alignment.unaligned() == alignment.unaligned_source() | alignment.unaligned_target()
+
+    def test_counts(self, simple_union):
+        part = trivial_partition(simple_union, ColorInterner())
+        alignment = align(simple_union, part)
+        # shared labels: a, p, "x"
+        assert alignment.matched_class_count() == 3
+        assert alignment.pair_count() == 3
+        assert set(alignment.pairs()) == {
+            (simple_union.from_source(t), simple_union.from_target(t))
+            for t in (uri("a"), uri("p"), lit("x"))
+        }
+
+    def test_crossover_property_holds(self, simple_union):
+        part = trivial_partition(simple_union, ColorInterner())
+        assert align(simple_union, part).has_crossover_property()
+
+
+class TestFatClasses:
+    def test_many_to_many_class(self, simple_union):
+        # Force only1 and only2 into the same class as a.
+        interner = ColorInterner()
+        part = trivial_partition(simple_union, interner)
+        fat = part.with_colors(
+            {
+                simple_union.from_source(uri("only1")): part[
+                    simple_union.from_source(uri("a"))
+                ],
+                simple_union.from_target(uri("only2")): part[
+                    simple_union.from_source(uri("a"))
+                ],
+            }
+        )
+        alignment = align(simple_union, fat)
+        source_a = simple_union.from_source(uri("a"))
+        assert alignment.partners(source_a) == {
+            simple_union.from_target(uri("a")),
+            simple_union.from_target(uri("only2")),
+        }
+        # 2x2 pairs from the fat class plus the p-p and "x"-"x" classes.
+        assert alignment.pair_count() == 6
+        assert alignment.has_crossover_property()
+
+
+class TestModuleFunctions:
+    def test_unaligned_nodes_function(self, simple_union):
+        part = trivial_partition(simple_union, ColorInterner())
+        assert unaligned_nodes(simple_union, part) == align(
+            simple_union, part
+        ).unaligned()
+
+    def test_unaligned_non_literals_excludes_literals(self, simple_union):
+        part = trivial_partition(simple_union, ColorInterner())
+        un = unaligned_non_literals(simple_union, part)
+        assert simple_union.from_target(lit("y")) not in un
+        assert simple_union.from_source(uri("only1")) in un
+
+
+class TestCrossoverFunction:
+    def test_crossover_positive(self):
+        pairs = {("n", "m"), ("n", "m2"), ("n2", "m"), ("n2", "m2")}
+        assert has_crossover_property(pairs)
+
+    def test_crossover_negative(self):
+        pairs = {("n", "m"), ("n", "m2"), ("n2", "m")}
+        assert not has_crossover_property(pairs)
+
+    def test_crossover_trivial_cases(self):
+        assert has_crossover_property(set())
+        assert has_crossover_property({("n", "m")})
+        assert has_crossover_property({("n", "m"), ("n2", "m2")})

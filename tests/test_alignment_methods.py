@@ -1,0 +1,134 @@
+"""Tests for the Trivial/Deblank/Hybrid alignment methods (paper Section 3).
+
+Pins the paper's Figure 3 walkthrough and the alignment hierarchy
+``Align(λTrivial) ⊆ Align(λDeblank) ⊆ Align(λHybrid)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.deblank import deblank_partition
+from repro.core.hybrid import blanked_partition, hybrid_partition
+from repro.core.trivial import trivial_partition
+from repro.model import blank, combine, lit, uri
+from repro.partition.alignment import align
+from repro.partition.coloring import label_partition
+from repro.partition.interner import ColorInterner
+
+from .conftest import random_rdf_graph
+
+
+class TestTrivial:
+    def test_aligns_shared_labels_only(self, figure3_combined):
+        part = trivial_partition(figure3_combined, ColorInterner())
+        alignment = align(figure3_combined, part)
+        g = figure3_combined
+        assert alignment.aligned(g.from_source(uri("w")), g.from_target(uri("w")))
+        assert alignment.aligned(g.from_source(lit("a")), g.from_target(lit("a")))
+        # Blanks are never trivially aligned.
+        assert not alignment.partners(g.from_source(blank("b2")))
+
+    def test_renamed_uri_unaligned(self, figure3_combined):
+        part = trivial_partition(figure3_combined, ColorInterner())
+        alignment = align(figure3_combined, part)
+        g = figure3_combined
+        assert not alignment.partners(g.from_source(uri("u")))
+        assert not alignment.partners(g.from_target(uri("v")))
+
+
+class TestDeblank:
+    def test_figure3_blank_alignments(self, figure3_combined):
+        g = figure3_combined
+        part = deblank_partition(g, ColorInterner())
+        alignment = align(g, part)
+        b4 = g.from_target(blank("b4"))
+        assert alignment.partners(g.from_source(blank("b2"))) == {b4}
+        assert alignment.partners(g.from_source(blank("b3"))) == {b4}
+        # b1 points to u, b5 points to v: contents differ, not aligned.
+        assert not alignment.partners(g.from_source(blank("b1")))
+
+    def test_redundant_blanks_share_class(self, figure3_combined):
+        part = deblank_partition(figure3_combined, ColorInterner())
+        g = figure3_combined
+        assert part.same_class(g.from_source(blank("b2")), g.from_source(blank("b3")))
+
+    def test_self_alignment_is_complete(self, figure3_graphs):
+        """Aligning a version with itself must align every blank node."""
+        g1, __ = figure3_graphs
+        union = combine(g1, g1.copy())
+        part = deblank_partition(union, ColorInterner())
+        alignment = align(union, part)
+        assert not alignment.unaligned()
+
+
+class TestHybrid:
+    def test_figure3_hybrid_alignments(self, figure3_combined):
+        g = figure3_combined
+        interner = ColorInterner()
+        part = hybrid_partition(g, interner)
+        alignment = align(g, part)
+        assert alignment.aligned(g.from_source(uri("u")), g.from_target(uri("v")))
+        assert alignment.aligned(g.from_source(blank("b1")), g.from_target(blank("b5")))
+
+    def test_literals_never_blanked(self, figure3_combined):
+        g = figure3_combined
+        interner = ColorInterner()
+        base = deblank_partition(g, interner)
+        part = hybrid_partition(g, interner, base=base)
+        # Literal "b" exists on both sides, trivially aligned; its color is
+        # its label color in both base and hybrid.
+        node = g.from_source(lit("b"))
+        assert part[node] == base[node]
+
+    def test_trivial_base_gives_same_result(self, figure3_combined):
+        """Paper: using λTrivial instead of λDeblank yields the same result."""
+        g = figure3_combined
+        interner1 = ColorInterner()
+        from_deblank = hybrid_partition(g, interner1)
+        interner2 = ColorInterner()
+        from_trivial = hybrid_partition(
+            g, interner2, base=trivial_partition(g, interner2)
+        )
+        pairs_deblank = set(align(g, from_deblank).pairs())
+        pairs_trivial = set(align(g, from_trivial).pairs())
+        assert pairs_deblank == pairs_trivial
+
+    def test_blanked_partition_helper(self, figure3_combined):
+        interner = ColorInterner()
+        part = label_partition(figure3_combined, interner)
+        nodes = [figure3_combined.from_source(uri("u"))]
+        blanked = blanked_partition(part, nodes, interner)
+        assert blanked[nodes[0]] == interner.blank_color()
+
+
+class TestHierarchy:
+    """Align(λTrivial) ⊆ Align(λDeblank) ⊆ Align(λHybrid) — paper §3.4."""
+
+    def _pairs(self, graph, partition):
+        return set(align(graph, partition).pairs())
+
+    def test_hierarchy_on_figure3(self, figure3_combined):
+        self._check(figure3_combined)
+
+    def test_hierarchy_on_figure1(self, figure1_graphs):
+        self._check(combine(*figure1_graphs))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_hierarchy_on_random_pairs(self, seed):
+        rng = random.Random(seed)
+        g1 = random_rdf_graph(rng, num_edges=18, uri_prefix="x")
+        g2 = random_rdf_graph(rng, num_edges=18, uri_prefix="x")
+        self._check(combine(g1, g2))
+
+    def _check(self, union):
+        interner = ColorInterner()
+        trivial = self._pairs(union, trivial_partition(union, interner))
+        deblank_part = deblank_partition(union, interner)
+        deblank = self._pairs(union, deblank_part)
+        hybrid = self._pairs(
+            union, hybrid_partition(union, interner, base=deblank_part)
+        )
+        assert trivial <= deblank <= hybrid

@@ -1,0 +1,145 @@
+"""Tests for the high-level facade (repro.api) and the CLI (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import align_versions
+from repro.api import METHOD_ORDER
+from repro.cli import main
+from repro.io import ntriples
+from repro.model import blank, lit, uri
+from repro.similarity.string_distance import character_set
+
+
+class TestAlignVersions:
+    def test_methods_form_hierarchy(self, figure3_graphs):
+        source, target = figure3_graphs
+        pair_sets = {}
+        for method in ("trivial", "deblank", "hybrid"):
+            result = align_versions(source, target, method=method)
+            pair_sets[method] = set(result.alignment.pairs())
+        assert pair_sets["trivial"] <= pair_sets["deblank"] <= pair_sets["hybrid"]
+
+    def test_overlap_returns_weighted(self, figure7_graphs):
+        source, target = figure7_graphs
+        result = align_versions(
+            source, target, method="overlap", splitter=character_set
+        )
+        assert result.weighted is not None
+        assert result.trace is not None
+        assert result.matched_entities() > 0
+
+    def test_figure1_story(self, figure1_graphs):
+        """The paper's opening example end to end."""
+        source, target = figure1_graphs
+        result = align_versions(source, target, method="hybrid")
+        graph = result.graph
+        # Bisimulation aligns the address records b1/b3.
+        assert result.alignment.aligned(
+            graph.from_source(blank("b1")), graph.from_target(blank("b3"))
+        )
+        # Hybrid aligns the renamed university URI.
+        assert result.alignment.aligned(
+            graph.from_source(uri("ed-uni")), graph.from_target(uri("uoe"))
+        )
+
+    def test_figure1_name_record_needs_similarity(self, figure1_graphs):
+        """The name record b2/b4 is beyond bisimulation (Figure 1).
+
+        σEdit aligns it: the matching couples the first/last names
+        ((0.5 + 0 + 1)/3 = 0.5), while the overlap *heuristic* cannot even
+        propose the pair ("Sławek" and "Sławomir" share no words, so the
+        candidate filter rejects it) — the approximation-incompleteness
+        trade-off the paper describes in the introduction.
+        """
+        from repro.similarity.edit_distance import EditDistance
+
+        source, target = figure1_graphs
+        hybrid = align_versions(source, target, method="hybrid")
+        graph = hybrid.graph
+        b2 = graph.from_source(blank("b2"))
+        b4 = graph.from_target(blank("b4"))
+        assert not hybrid.alignment.aligned(b2, b4)
+
+        edit = EditDistance(graph, base=hybrid.partition, interner=hybrid.interner)
+        assert edit.distance(b2, b4) == pytest.approx(0.5)
+        assert (b2, b4) in {(n, m) for n, m, __ in edit.aligned_pairs(theta=0.5)}
+
+        overlap = align_versions(source, target, method="overlap", theta=0.7)
+        graph = overlap.graph
+        assert not overlap.alignment.aligned(
+            graph.from_source(blank("b2")), graph.from_target(blank("b4"))
+        )
+
+    def test_unknown_method(self, figure3_graphs):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            align_versions(*figure3_graphs, method="bogus")  # type: ignore[arg-type]
+
+    def test_unaligned_counts(self, figure3_graphs):
+        result = align_versions(*figure3_graphs, method="trivial")
+        unaligned_source, unaligned_target = result.unaligned_counts()
+        assert unaligned_source > 0 and unaligned_target > 0
+
+    def test_method_order_constant(self):
+        assert METHOD_ORDER == ("trivial", "deblank", "hybrid", "overlap")
+
+
+class TestCLI:
+    @pytest.fixture
+    def version_files(self, tmp_path, figure1_graphs):
+        source, target = figure1_graphs
+        source_path = tmp_path / "v1.nt"
+        target_path = tmp_path / "v2.nt"
+        ntriples.dump_path(source, source_path)
+        ntriples.dump_path(target, target_path)
+        return str(source_path), str(target_path)
+
+    def test_align_summary(self, version_files, capsys):
+        assert main(["align", *version_files, "--method", "hybrid"]) == 0
+        out = capsys.readouterr().out
+        assert "matched_entities=" in out
+
+    def test_align_pairs_output(self, version_files, tmp_path, capsys):
+        output = str(tmp_path / "pairs.tsv")
+        assert main(["align", *version_files, "--pairs", "--output", output]) == 0
+        content = open(output).read()
+        assert "\t" in content
+
+    def test_stats(self, version_files, capsys):
+        assert main(["stats", version_files[0]]) == 0
+        assert "edges:" in capsys.readouterr().out
+
+    def test_generate_and_stats_roundtrip(self, tmp_path, capsys):
+        out = str(tmp_path / "g.nt")
+        code = main(
+            ["generate", "gtopdb", "--graph-version", "1", "--scale", "0.1", "--out", out]
+        )
+        assert code == 0
+        assert main(["stats", out]) == 0
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["stats", "/nonexistent/file.nt"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_delta_command(self, version_files, capsys):
+        assert main(["delta", *version_files, "--method", "hybrid"]) == 0
+        out = capsys.readouterr().out
+        assert "delta summary:" in out
+        assert "renamed" in out  # ed-uni -> uoe
+
+    def test_experiment_command(self, tmp_path, capsys):
+        code = main(
+            [
+                "experiment",
+                "figure12",
+                "--scale",
+                "0.15",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "figure12.txt").exists()

@@ -1,0 +1,180 @@
+"""Tests for multi-version archives (repro.archive)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.archive.builder import VersionArchive
+from repro.archive.intervals import VersionInterval
+from repro.datasets import EFOGenerator, GtoPdbGenerator
+from repro.exceptions import ExperimentError
+from repro.model import RDFGraph, blank, lit, uri
+from repro.model.graph import isomorphic_by_labels
+
+
+class TestVersionInterval:
+    def test_add_and_contains(self):
+        interval = VersionInterval([1, 2, 3])
+        assert 2 in interval and 4 not in interval
+        assert interval.ranges == [(1, 3)]
+
+    def test_merging_adjacent(self):
+        interval = VersionInterval()
+        interval.add(1)
+        interval.add(3)
+        assert interval.ranges == [(1, 1), (3, 3)]
+        interval.add(2)
+        assert interval.ranges == [(1, 3)]
+
+    def test_duplicates_ignored(self):
+        interval = VersionInterval([2])
+        interval.add(2)
+        assert len(interval) == 1
+
+    def test_out_of_order_insertion(self):
+        interval = VersionInterval([5, 1, 3])
+        assert interval.ranges == [(1, 1), (3, 3), (5, 5)]
+
+    def test_iteration_and_bounds(self):
+        interval = VersionInterval([2, 3, 7])
+        assert list(interval) == [2, 3, 7]
+        assert interval.first() == 2 and interval.last() == 7
+        assert not interval.is_contiguous()
+        assert interval.range_count == 2
+
+    def test_empty_interval(self):
+        interval = VersionInterval()
+        assert len(interval) == 0
+        assert interval.is_contiguous()
+        with pytest.raises(ValueError):
+            interval.first()
+
+    def test_equality_and_hash(self):
+        assert VersionInterval([1, 2]) == VersionInterval([2, 1])
+        assert hash(VersionInterval([1])) == hash(VersionInterval([1]))
+
+    @given(st.sets(st.integers(1, 30), max_size=20))
+    def test_behaves_like_a_set(self, versions):
+        interval = VersionInterval(versions)
+        assert set(interval) == versions
+        assert len(interval) == len(versions)
+        for version in versions:
+            assert version in interval
+        # Ranges are sorted, disjoint and non-adjacent.
+        ranges = interval.ranges
+        for (start_a, end_a), (start_b, __) in zip(ranges, ranges[1:]):
+            assert end_a + 1 < start_b
+        for start, end in ranges:
+            assert start <= end
+
+
+def evolving_versions() -> list[RDFGraph]:
+    """Three tiny versions: a triple leaves, a triple and node arrive."""
+    v1 = RDFGraph()
+    v1.add(uri("a"), uri("p"), lit("x"))
+    v1.add(uri("a"), uri("p"), lit("old"))
+    v2 = RDFGraph()
+    v2.add(uri("a"), uri("p"), lit("x"))
+    v3 = RDFGraph()
+    v3.add(uri("a"), uri("p"), lit("x"))
+    v3.add(uri("new"), uri("p"), lit("x"))
+    return [v1, v2, v3]
+
+
+class TestVersionArchive:
+    def test_round_trip_small(self):
+        graphs = evolving_versions()
+        archive = VersionArchive.build(graphs)
+        for index, original in enumerate(graphs):
+            assert isomorphic_by_labels(original, archive.reconstruct(index + 1))
+
+    def test_persistent_triple_stored_once(self):
+        archive = VersionArchive.build(evolving_versions())
+        # a-p-"x" lives in all three versions as a single decorated triple.
+        persistent = [
+            interval
+            for interval, in [(interval,) for interval in archive.triples.values()]
+            if len(interval) == 3
+        ]
+        assert len(persistent) == 1
+
+    def test_stats_compression(self):
+        graphs = evolving_versions()
+        archive = VersionArchive.build(graphs)
+        stats = archive.stats(graphs)
+        assert stats.naive_triples == 5  # 2 + 1 + 2 triples across versions
+        assert stats.compression_ratio > 1.0
+
+    def test_reconstruct_bounds(self):
+        archive = VersionArchive.build(evolving_versions())
+        with pytest.raises(ExperimentError):
+            archive.reconstruct(0)
+        with pytest.raises(ExperimentError):
+            archive.reconstruct(9)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ExperimentError):
+            VersionArchive.build([])
+
+    def test_round_trip_with_blanks(self):
+        v1 = RDFGraph()
+        v1.add(uri("s"), uri("addr"), blank("b1"))
+        v1.add(blank("b1"), uri("zip"), lit("EH8"))
+        v2 = RDFGraph()
+        v2.add(uri("s"), uri("addr"), blank("other"))
+        v2.add(blank("other"), uri("zip"), lit("EH8"))
+        archive = VersionArchive.build([v1, v2])
+        assert isomorphic_by_labels(v1, archive.reconstruct(1))
+        assert isomorphic_by_labels(v2, archive.reconstruct(2))
+        # The blank was chained: one blank entity, not two.
+        blank_entities = [
+            entity
+            for entity, labels in archive.labels.items()
+            if any(repr(label) == "BLANK" for label in labels)
+        ]
+        assert len(blank_entities) == 1
+
+    def test_round_trip_efo(self):
+        graphs = EFOGenerator(scale=0.15, versions=4).graphs()
+        archive = VersionArchive.build(graphs)
+        for index, original in enumerate(graphs):
+            assert isomorphic_by_labels(original, archive.reconstruct(index + 1))
+
+    def test_round_trip_gtopdb_renamed_prefixes(self):
+        """Entities chain across versions even though no URIs are shared."""
+        generator = GtoPdbGenerator(scale=0.15, versions=3)
+        graphs = generator.graphs()
+        archive = VersionArchive.build(graphs)
+        for index, original in enumerate(graphs):
+            assert isomorphic_by_labels(original, archive.reconstruct(index + 1))
+        # Renamed-but-aligned rows share one entity with two label intervals.
+        multi_label = [
+            labels for labels in archive.labels.values() if len(labels) > 1
+        ]
+        assert multi_label
+
+    def test_subject_cohesion_high_on_efo(self):
+        graphs = EFOGenerator(scale=0.2, versions=5).graphs()
+        archive = VersionArchive.build(graphs)
+        # The paper's observation: most triples enter/leave with their subject.
+        assert archive.subject_cohesion() > 0.6
+
+    def test_subject_grouped_size_not_larger(self):
+        graphs = EFOGenerator(scale=0.15, versions=4).graphs()
+        archive = VersionArchive.build(graphs)
+        plain = sum(1 + interval.range_count for interval in archive.triples.values())
+        assert archive.subject_grouped_size() <= plain
+
+    def test_label_at(self):
+        archive = VersionArchive.build(evolving_versions())
+        # Find the entity of uri("a") in version 1.
+        reconstructed = archive.reconstruct(1)
+        entities = [
+            node for node in reconstructed.nodes()
+            if repr(reconstructed.label(node)) == repr(uri("a"))
+        ]
+        assert len(entities) == 1
+        assert archive.label_at(entities[0], 1) == uri("a")
+        assert archive.label_at(999999, 1) is None

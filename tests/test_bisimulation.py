@@ -1,0 +1,87 @@
+"""Proposition 1: refinement captures maximal bisimulation.
+
+Cross-checks the production partition-refinement implementation against an
+independent naive greatest-fixpoint reference on the paper's graphs and on
+random graphs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bisimulation import (
+    are_bisimilar,
+    bisimulation_partition,
+    naive_maximal_bisimulation,
+    partition_to_relation_agrees,
+)
+from repro.model import RDFGraph, blank, lit, uri
+
+from .conftest import random_rdf_graph
+
+
+class TestFigure2:
+    def test_b2_b3_bisimilar(self, figure2_graph):
+        assert are_bisimilar(figure2_graph, blank("b2"), blank("b3"))
+
+    def test_b1_not_bisimilar_to_b2(self, figure2_graph):
+        assert not are_bisimilar(figure2_graph, blank("b1"), blank("b2"))
+
+    def test_literals_not_bisimilar_to_uris(self, figure2_graph):
+        assert not are_bisimilar(figure2_graph, lit("a"), uri("u"))
+
+
+class TestProposition1:
+    def test_figure2_agrees_with_naive(self, figure2_graph):
+        partition = bisimulation_partition(figure2_graph)
+        relation = naive_maximal_bisimulation(figure2_graph)
+        assert partition_to_relation_agrees(partition, relation)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs_agree_with_naive(self, seed):
+        import random
+
+        graph = random_rdf_graph(
+            random.Random(seed), num_uris=5, num_literals=3, num_blanks=4, num_edges=14
+        )
+        partition = bisimulation_partition(graph)
+        relation = naive_maximal_bisimulation(graph)
+        assert partition_to_relation_agrees(partition, relation)
+
+    def test_identity_always_bisimulation(self, figure2_graph):
+        relation = naive_maximal_bisimulation(figure2_graph)
+        for node in figure2_graph.nodes():
+            assert (node, node) in relation
+
+    def test_relation_is_symmetric(self, figure2_graph):
+        relation = naive_maximal_bisimulation(figure2_graph)
+        assert {(m, n) for n, m in relation} == relation
+
+
+class TestCyclicGraphs:
+    def test_two_cycles_of_same_shape_are_bisimilar(self):
+        g = RDFGraph()
+        g.add(blank("x1"), uri("p"), blank("x2"))
+        g.add(blank("x2"), uri("p"), blank("x1"))
+        g.add(blank("y1"), uri("p"), blank("y2"))
+        g.add(blank("y2"), uri("p"), blank("y1"))
+        assert are_bisimilar(g, blank("x1"), blank("y1"))
+        assert are_bisimilar(g, blank("x1"), blank("x2"))
+
+    def test_cycle_vs_tail_not_bisimilar(self):
+        g = RDFGraph()
+        g.add(blank("c1"), uri("p"), blank("c2"))
+        g.add(blank("c2"), uri("p"), blank("c1"))
+        g.add(blank("t1"), uri("p"), blank("t2"))  # t2 is a dead end
+        assert not are_bisimilar(g, blank("c1"), blank("t1"))
+
+    def test_self_loop_bisimilar_to_two_cycle(self):
+        """Bisimulation ignores cycle length, only behaviour matters."""
+        g = RDFGraph()
+        g.add(blank("s"), uri("p"), blank("s"))
+        g.add(blank("c1"), uri("p"), blank("c2"))
+        g.add(blank("c2"), uri("p"), blank("c1"))
+        assert are_bisimilar(g, blank("s"), blank("c1"))
+        relation = naive_maximal_bisimulation(g)
+        partition = bisimulation_partition(g)
+        assert partition_to_relation_agrees(partition, relation)

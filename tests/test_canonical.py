@@ -1,0 +1,116 @@
+"""Tests for canonical serialization (repro.io.canonical)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.io.canonical import canonical_blank_labels, canonical_dumps
+from repro.io.ntriples import loads
+from repro.model import RDFGraph, blank, lit, uri
+from repro.model.graph import isomorphic_by_labels
+
+
+def relabel_blanks(graph: RDFGraph, prefix: str) -> RDFGraph:
+    """An isomorphic copy with fresh blank identifiers and shuffled order."""
+    mapping = {}
+
+    def rename(term):
+        if hasattr(term, "name") and term.__class__.__name__ == "BlankNode":
+            if term not in mapping:
+                mapping[term] = blank(f"{prefix}{len(mapping)}")
+            return mapping[term]
+        return term
+
+    triples = [tuple(map(rename, triple)) for triple in graph.triples()]
+    random.Random(hash(prefix) & 0xFFFF).shuffle(triples)
+    copy = RDFGraph()
+    copy.add_all(triples)
+    return copy
+
+
+class TestCanonicalLabels:
+    def test_no_blanks_empty_mapping(self):
+        g = RDFGraph()
+        g.add(uri("a"), uri("p"), lit("x"))
+        assert canonical_blank_labels(g) == {}
+
+    def test_distinct_content_distinct_labels(self):
+        g = RDFGraph()
+        g.add(blank("x"), uri("p"), lit("one"))
+        g.add(blank("y"), uri("p"), lit("two"))
+        labels = canonical_blank_labels(g)
+        assert labels[blank("x")] != labels[blank("y")]
+
+    def test_context_disambiguates_empty_blanks(self):
+        g = RDFGraph()
+        g.add(uri("s1"), uri("p"), blank("x"))
+        g.add(uri("s2"), uri("q"), blank("y"))
+        labels = canonical_blank_labels(g)
+        assert labels[blank("x")] != labels[blank("y")]
+
+    def test_all_blanks_named(self):
+        g = RDFGraph()
+        for i in range(5):
+            g.add(blank(f"b{i}"), uri("p"), blank(f"b{(i + 1) % 5}"))
+        labels = canonical_blank_labels(g)
+        assert len(labels) == 5
+        assert len(set(labels.values())) == 5
+
+
+class TestCanonicalDumps:
+    def test_invariant_under_blank_renaming(self, figure1_graphs):
+        v1, __ = figure1_graphs
+        renamed = relabel_blanks(v1, "zz")
+        assert canonical_dumps(v1) == canonical_dumps(renamed)
+
+    def test_invariant_under_insertion_order(self, figure2_graph):
+        shuffled = relabel_blanks(figure2_graph, "qq")
+        assert canonical_dumps(figure2_graph) == canonical_dumps(shuffled)
+
+    def test_bisimilar_duplicates_are_interchangeable(self):
+        """Two identical records on the same subject: automorphic blanks."""
+        def build(first: str, second: str) -> RDFGraph:
+            g = RDFGraph()
+            for name in (first, second):
+                g.add(uri("s"), uri("cite"), blank(name))
+                g.add(blank(name), uri("src"), lit("PubMed"))
+            return g
+
+        assert canonical_dumps(build("a", "b")) == canonical_dumps(build("b", "a"))
+
+    def test_cycle_is_deterministic(self):
+        def build(names: list[str]) -> RDFGraph:
+            g = RDFGraph()
+            for i, name in enumerate(names):
+                g.add(blank(name), uri("p"), blank(names[(i + 1) % len(names)]))
+            g.add(uri("anchor"), uri("q"), blank(names[0]))
+            return g
+
+        assert canonical_dumps(build(["x", "y", "z"])) == canonical_dumps(
+            build(["m", "n", "o"])
+        )
+
+    def test_round_trip_parses_to_isomorphic_graph(self, figure1_graphs):
+        v1, __ = figure1_graphs
+        again = loads(canonical_dumps(v1))
+        assert isomorphic_by_labels(v1, again)
+
+    def test_different_graphs_differ(self):
+        g1 = RDFGraph()
+        g1.add(blank("b"), uri("p"), lit("one"))
+        g2 = RDFGraph()
+        g2.add(blank("b"), uri("p"), lit("two"))
+        assert canonical_dumps(g1) != canonical_dumps(g2)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_invariance_on_generated_ontologies(self, seed):
+        from repro.datasets import EFOGenerator
+
+        graph = EFOGenerator(scale=0.1, seed=seed).graph(1)
+        renamed = relabel_blanks(graph, f"s{seed}")
+        assert canonical_dumps(graph) == canonical_dumps(renamed)
+
+    def test_empty_graph(self):
+        assert canonical_dumps(RDFGraph()) == ""

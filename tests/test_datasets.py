@@ -1,0 +1,218 @@
+"""Tests for the dataset generators (repro.datasets)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.dbpedia import DBpediaCategoryGenerator
+from repro.datasets.efo import EFOGenerator
+from repro.datasets.ground_truth import GroundTruth
+from repro.datasets.gtopdb import GtoPdbGenerator
+from repro.datasets.mutations import (
+    curation_edit,
+    edit_typo,
+    edit_word,
+    make_identifier,
+    make_name,
+    sample_fraction,
+)
+from repro.model import URI, combine, uri
+from repro.exceptions import AlignmentError
+
+
+class TestMutations:
+    def test_edit_typo_changes_length_or_char(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            text = "receptor"
+            edited = edit_typo(rng, text)
+            assert abs(len(edited) - len(text)) <= 1
+
+    def test_edit_typo_on_empty(self):
+        assert edit_typo(random.Random(1), "") != ""
+
+    def test_edit_word(self):
+        rng = random.Random(2)
+        edited = edit_word(rng, "alpha beta", ["gamma"])
+        assert isinstance(edited, str) and edited
+
+    def test_curation_edit_always_differs(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            assert curation_edit(rng, "histamine receptor", ["x"]) != "histamine receptor"
+
+    def test_make_name_and_identifier(self):
+        rng = random.Random(4)
+        assert len(make_name(rng, ["a", "b"], 3).split()) == 3
+        ident = make_identifier(rng, "EFO_", width=4)
+        assert ident.startswith("EFO_") and len(ident) == 8
+
+    def test_sample_fraction(self):
+        rng = random.Random(5)
+        items = list(range(100))
+        assert len(sample_fraction(rng, items, 0.25)) == 25
+        assert sample_fraction(rng, items, 0.0) == []
+        assert len(sample_fraction(rng, [1], 5.0)) == 1
+
+
+class TestGroundTruth:
+    def test_lookup_both_directions(self):
+        truth = GroundTruth({uri("a1"): uri("a2")})
+        assert truth.partner_of_source(uri("a1")) == uri("a2")
+        assert truth.partner_of_target(uri("a2")) == uri("a1")
+        assert truth.partner_of_source(uri("zzz")) is None
+        assert (uri("a1"), uri("a2")) in truth
+        assert len(truth) == 1
+
+    def test_must_be_one_to_one(self):
+        with pytest.raises(AlignmentError):
+            GroundTruth({uri("a"): uri("x"), uri("b"): uri("x")})
+
+    def test_from_entity_maps_joins_shared_keys(self):
+        truth = GroundTruth.from_entity_maps(
+            {"e1": uri("v1/a"), "e2": uri("v1/b")},
+            {"e1": uri("v2/a"), "e3": uri("v2/c")},
+        )
+        assert len(truth) == 1
+        assert truth.partner_of_source(uri("v1/a")) == uri("v2/a")
+
+
+class TestGtoPdbGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self):
+        return GtoPdbGenerator(scale=0.2, versions=5)
+
+    def test_deterministic(self):
+        first = GtoPdbGenerator(scale=0.1, versions=3, seed=7)
+        second = GtoPdbGenerator(scale=0.1, versions=3, seed=7)
+        from repro.io import ntriples
+
+        assert ntriples.dumps(first.graph(2)) == ntriples.dumps(second.graph(2))
+
+    def test_versions_grow(self, generator):
+        edges = [g.num_edges for g in generator.graphs()]
+        assert edges == sorted(edges) or edges[-1] > edges[0]
+
+    def test_no_blanks(self, generator):
+        for graph in generator.graphs():
+            assert not graph.blanks()
+
+    def test_graphs_are_well_formed(self, generator):
+        generator.graph(0).validate()
+        generator.graph(4).validate()
+
+    def test_ground_truth_joins_persistent_keys(self, generator):
+        truth = generator.ground_truth(0, 1)
+        assert len(truth) > 0
+        source, target = next(iter(truth.pairs()))
+        assert source.value.startswith("http://gtopdb.example.org/ver1/")
+        assert target.value.startswith("http://gtopdb.example.org/ver2/")
+        assert source.value.split("ver1/")[1] == target.value.split("ver2/")[1]
+
+    def test_combined_lifts_ground_truth(self, generator):
+        union, truth = generator.combined(0, 1)
+        lifted = truth.combined_pairs(union)
+        assert lifted
+        for source_node, target_node in lifted:
+            assert source_node in union.source_nodes
+            assert target_node in union.target_nodes
+
+    def test_burst_version_inserts_more(self):
+        generator = GtoPdbGenerator(scale=0.3, versions=5)
+        graphs = generator.graphs()
+        growths = [
+            graphs[i + 1].num_edges / graphs[i].num_edges for i in range(4)
+        ]
+        # Burst lands in version 4 (index 2 -> 3 transition).
+        assert growths[2] == max(growths)
+
+
+class TestEFOGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self):
+        return EFOGenerator(scale=0.5)
+
+    def test_node_mix_matches_paper(self, generator):
+        for graph in generator.graphs():
+            stats = graph.stats()
+            assert stats.num_literals / stats.num_nodes > 0.70
+            assert 0.05 < stats.num_blanks / stats.num_nodes < 0.20
+
+    def test_blank_duplicates_are_bisimilar(self, generator):
+        from repro.core.bisimulation import bisimulation_partition
+        from repro.model.rdf import BlankNode
+
+        graph = generator.graph(1)
+        duplicates = [n for n in graph.blanks() if n.name.endswith("-dup")]
+        assert duplicates, "expected duplicated citation records"
+        partition = bisimulation_partition(graph)
+        sample = duplicates[0]
+        original = BlankNode(sample.name[: -len("-dup")])
+        assert partition[sample] == partition[original]
+
+    def test_prefix_migration_story(self, generator):
+        classes = generator.classes()
+        vanishing = [c for c in classes if c.group == "vanish"]
+        assert vanishing
+        cls = vanishing[0]
+        assert generator.class_uri(cls, 1).value.startswith("http://purl.org/obo/owl/")
+        assert generator.class_uri(cls, 3) is None
+        assert generator.class_uri(cls, 5).value.startswith(
+            "http://purl.obolibrary.org/obo/"
+        )
+
+    def test_bulk_rename_at_version8(self, generator):
+        classes = generator.classes()
+        bulk = [c for c in classes if c.group == "bulk"]
+        assert bulk
+        cls = bulk[0]
+        assert generator.class_uri(cls, 7).value.startswith("http://purl.org/obo/owl/")
+        assert generator.class_uri(cls, 8).value.startswith(
+            "http://purl.obolibrary.org/obo/"
+        )
+
+    def test_ground_truth_across_rename(self, generator):
+        truth = generator.ground_truth(6, 7)  # v7 -> v8 bulk rename
+        renamed = [
+            (s, t)
+            for s, t in truth.pairs()
+            if s.value.startswith("http://purl.org/obo/owl/")
+            and t.value.startswith("http://purl.obolibrary.org/obo/")
+        ]
+        assert renamed
+
+    def test_graphs_deterministic(self):
+        a = EFOGenerator(scale=0.2, seed=9).graph(3)
+        b = EFOGenerator(scale=0.2, seed=9).graph(3)
+        from repro.io import ntriples
+
+        assert ntriples.dumps(a) == ntriples.dumps(b)
+
+
+class TestDBpediaGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self):
+        return DBpediaCategoryGenerator(scale=0.5)
+
+    def test_versions_grow(self, generator):
+        nodes = [g.num_nodes for g in generator.graphs()]
+        assert all(b >= a for a, b in zip(nodes, nodes[1:]))
+
+    def test_well_formed(self, generator):
+        generator.graph(0).validate()
+
+    def test_ground_truth_is_shared_uris(self, generator):
+        truth = generator.ground_truth(0, 1)
+        source, target = next(iter(truth.pairs()))
+        assert source == target
+
+    def test_no_blanks(self, generator):
+        assert not generator.graph(0).blanks()
+
+    def test_category_edges_exist(self, generator):
+        from repro.model.namespaces import SKOS_BROADER
+
+        graph = generator.graph(0)
+        assert any(p == SKOS_BROADER for __, p, __o in graph.edges())

@@ -1,0 +1,111 @@
+"""Tests for delta derivation (repro.delta)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hybrid import hybrid_partition
+from repro.core.trivial import trivial_partition
+from repro.delta import compute_delta, render_delta
+from repro.model import RDFGraph, blank, combine, lit, uri
+from repro.partition.coloring import Partition
+from repro.partition.interner import ColorInterner
+
+
+@pytest.fixture
+def change_pair():
+    source = RDFGraph()
+    source.add(uri("a"), uri("p"), lit("kept"))
+    source.add(uri("a"), uri("p"), lit("dropped value"))
+    source.add(uri("old-name"), uri("p"), lit("anchor one two three"))
+    target = RDFGraph()
+    target.add(uri("a"), uri("p"), lit("kept"))
+    target.add(uri("a"), uri("q"), lit("fresh value"))
+    target.add(uri("new-name"), uri("p"), lit("anchor one two three"))
+    return combine(source, target)
+
+
+class TestComputeDelta:
+    def test_renames_detected_via_hybrid(self, change_pair):
+        partition = hybrid_partition(change_pair, ColorInterner())
+        delta = compute_delta(change_pair, partition)
+        renames = {
+            (str(change.source_label), str(change.target_label))
+            for change in delta.renamed_nodes
+        }
+        assert ("old-name", "new-name") in renames
+
+    def test_insertions_and_deletions(self, change_pair):
+        partition = hybrid_partition(change_pair, ColorInterner())
+        delta = compute_delta(change_pair, partition)
+        deleted = {str(change.source_label) for change in delta.deleted_nodes}
+        inserted = {str(change.target_label) for change in delta.inserted_nodes}
+        assert "dropped value" in deleted
+        assert "fresh value" in inserted
+        assert "q" in inserted  # the new predicate URI
+
+    def test_kept_triples_modulo_alignment(self, change_pair):
+        """The anchor triple survives the rename: not a change."""
+        partition = hybrid_partition(change_pair, ColorInterner())
+        delta = compute_delta(change_pair, partition)
+        removed = {
+            repr(change_pair.original(o)) for __, __p, o in delta.removed_triples
+        }
+        assert not any("anchor" in text for text in removed)
+        assert delta.kept_triple_count >= 2  # a-p-kept and the anchor triple
+
+    def test_trivial_alignment_sees_rename_as_delete_plus_insert(self, change_pair):
+        partition = trivial_partition(change_pair, ColorInterner())
+        delta = compute_delta(change_pair, partition)
+        assert not delta.renamed_nodes
+        deleted = {str(change.source_label) for change in delta.deleted_nodes}
+        assert "old-name" in deleted
+
+    def test_identity_delta_is_empty(self):
+        g = RDFGraph()
+        g.add(uri("a"), uri("p"), blank("b"))
+        g.add(blank("b"), uri("q"), lit("x"))
+        union = combine(g, g.copy())
+        partition = hybrid_partition(union, ColorInterner())
+        delta = compute_delta(union, partition)
+        assert delta.is_empty
+        assert delta.kept_node_count == union.num_nodes // 2
+        assert delta.kept_triple_count == 2
+
+    def test_ambiguous_nodes_reported(self):
+        union_graph = RDFGraph()
+        union_graph.add(uri("s"), uri("p"), lit("x"))
+        union = combine(union_graph, union_graph.copy())
+        # Force every node into one class: everything ambiguous.
+        partition = Partition({node: 0 for node in union.nodes()})
+        delta = compute_delta(union, partition)
+        assert len(delta.ambiguous_nodes) == 3
+
+    def test_summary_totals(self, change_pair):
+        partition = hybrid_partition(change_pair, ColorInterner())
+        delta = compute_delta(change_pair, partition)
+        summary = delta.summary()
+        source_nodes = len(change_pair.source_nodes)
+        accounted = (
+            summary["kept_nodes"]
+            + summary["deleted_nodes"]
+            + summary["renamed_nodes"]
+            + summary["ambiguous_nodes"]
+        )
+        assert accounted == source_nodes
+
+
+class TestRenderDelta:
+    def test_render_contains_sections(self, change_pair):
+        partition = hybrid_partition(change_pair, ColorInterner())
+        delta = compute_delta(change_pair, partition)
+        out = render_delta(change_pair, delta)
+        assert "delta summary:" in out
+        assert "renamed:" in out
+        assert "old-name -> new-name" in out
+
+    def test_render_truncates(self, change_pair):
+        partition = hybrid_partition(change_pair, ColorInterner())
+        delta = compute_delta(change_pair, partition)
+        out = render_delta(change_pair, delta, limit=0)
+        assert "more" in out

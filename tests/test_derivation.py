@@ -1,0 +1,112 @@
+"""Tests for derivation-tree rendering (repro.partition.derivation)."""
+
+from __future__ import annotations
+
+from repro.core.bisimulation import bisimulation_partition
+from repro.core.refinement import bisim_refine_fixpoint
+from repro.model import RDFGraph, blank, lit, uri
+from repro.partition.coloring import label_partition
+from repro.partition.derivation import (
+    DerivationTree,
+    derivation_tree,
+    render_color,
+    render_tree,
+)
+from repro.partition.interner import ColorInterner
+
+
+def small_graph() -> RDFGraph:
+    """Two distinguishable blanks, so refinement actually recolors them.
+
+    (A uniquely colored blank never splits; the fixpoint then returns the
+    label partition per Definition 4 and its color has no unfolding.)
+    """
+    g = RDFGraph()
+    g.add(blank("b"), uri("p"), lit("x"))
+    g.add(blank("b"), uri("q"), uri("u"))
+    g.add(blank("b2"), uri("p"), lit("x"))
+    return g
+
+
+class TestDerivationTree:
+    def test_label_color_is_leaf(self):
+        interner = ColorInterner()
+        color = interner.label_color(uri("p"))
+        tree = derivation_tree(interner, color)
+        assert tree.head == "p"
+        assert tree.children == ()
+        assert tree.depth == 0 and tree.size() == 1
+
+    def test_blank_color_renders_bottom(self):
+        interner = ColorInterner()
+        tree = derivation_tree(interner, interner.blank_color())
+        assert tree.head == "⊥"
+
+    def test_node_color(self):
+        interner = ColorInterner()
+        tree = derivation_tree(interner, interner.node_color("n1"))
+        assert tree.head == "node:'n1'"
+
+    def test_component_color(self):
+        interner = ColorInterner()
+        tree = derivation_tree(interner, interner.component_color(2, 5))
+        assert tree.head == "component#5@2"
+
+    def test_recolor_unfolds_children(self):
+        g = small_graph()
+        interner = ColorInterner()
+        part = bisim_refine_fixpoint(g, label_partition(g, interner), None, interner)
+        tree = derivation_tree(interner, part[blank("b")])
+        assert tree.head == "⊥"
+        assert len(tree.children) == 2
+        heads = sorted(
+            (p.head, o.head) for p, o in tree.children
+        )
+        assert ("p", "x") in heads or ("p", "recolor") in heads
+
+    def test_depth_cutoff_marks_truncation(self):
+        g = RDFGraph()
+        g.add(blank("c"), uri("p"), blank("c"))  # self-loop: infinite unfolding
+        interner = ColorInterner()
+        part = bisim_refine_fixpoint(g, label_partition(g, interner), None, interner)
+        tree = derivation_tree(interner, part[blank("c")], max_depth=3)
+        # Walk to the deepest object subtree; it must be truncated.
+        node = tree
+        while node.children:
+            node = node.children[0][1]
+        assert node.truncated or node.depth == 0
+
+    def test_size_counts_all_nodes(self):
+        g = small_graph()
+        interner = ColorInterner()
+        part = bisim_refine_fixpoint(g, label_partition(g, interner), None, interner)
+        tree = derivation_tree(interner, part[blank("b")])
+        # Root plus two (predicate, object) child pairs, each a leaf.
+        assert tree.size() == 1 + 2 * 2
+        assert derivation_tree(interner, part[blank("b2")]).size() == 3
+
+
+class TestRendering:
+    def test_render_tree_lines(self):
+        tree = DerivationTree(
+            head="⊥",
+            children=(
+                (DerivationTree(head="p"), DerivationTree(head="x")),
+            ),
+        )
+        out = render_tree(tree)
+        lines = out.splitlines()
+        assert lines[0] == "⊥"
+        assert any("├p p" in line for line in lines)
+        assert any("└o x" in line for line in lines)
+
+    def test_render_truncated_marker(self):
+        tree = DerivationTree(head="recolor", truncated=True)
+        assert "…" in render_tree(tree)
+
+    def test_render_color_convenience(self):
+        g = small_graph()
+        interner = ColorInterner()
+        part = bisimulation_partition(g, interner)
+        out = render_color(interner, part[blank("b")])
+        assert "⊥" in out

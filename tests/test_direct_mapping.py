@@ -1,0 +1,167 @@
+"""Unit tests for the W3C Direct Mapping (repro.relational.direct_mapping)."""
+
+from __future__ import annotations
+
+from decimal import Decimal
+
+import pytest
+
+from repro.model.labels import Literal, URI
+from repro.model.namespaces import RDF_TYPE, XSD_DECIMAL, XSD_INTEGER
+from repro.relational.database import RelationalDatabase
+from repro.relational.direct_mapping import (
+    direct_mapping,
+    row_uri,
+    value_literal,
+)
+from repro.relational.schema import Column, ColumnType, ForeignKey, Table, make_schema
+
+
+@pytest.fixture
+def schema():
+    return make_schema(
+        [
+            Table(
+                name="ligand",
+                columns=(
+                    Column("ligand_id", ColumnType.INTEGER),
+                    Column("name", ColumnType.TEXT),
+                    Column("mass", ColumnType.DECIMAL, nullable=True),
+                ),
+                primary_key=("ligand_id",),
+            ),
+            Table(
+                name="interaction",
+                columns=(
+                    Column("pair", ColumnType.TEXT),
+                    Column("ligand_id", ColumnType.INTEGER),
+                ),
+                primary_key=("pair",),
+                foreign_keys=(ForeignKey(("ligand_id",), "ligand"),),
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def db(schema):
+    database = RelationalDatabase(schema)
+    database.insert(
+        "ligand", {"ligand_id": 685, "name": "calcitonin", "mass": Decimal("3431.9")}
+    )
+    database.insert("interaction", {"pair": "a/b", "ligand_id": 685})
+    return database
+
+
+class TestExport:
+    def test_row_uri_single_key(self, schema):
+        table = schema.table("ligand")
+        assert row_uri("http://x/ver1/", table, (685,)) == URI(
+            "http://x/ver1/ligand/685"
+        )
+
+    def test_row_uri_escapes_separators(self, schema):
+        table = schema.table("interaction")
+        assert row_uri("http://x/", table, ("a/b",)) == URI("http://x/interaction/a%2Fb")
+
+    def test_type_triples(self, db):
+        graph, __ = direct_mapping(db, "http://x/")
+        assert graph.has_edge(
+            URI("http://x/ligand/685"), RDF_TYPE, URI("http://x/ligand")
+        )
+
+    def test_value_triples_typed(self, db):
+        graph, __ = direct_mapping(db, "http://x/")
+        assert graph.has_edge(
+            URI("http://x/ligand/685"),
+            URI("http://x/ligand#name"),
+            Literal("calcitonin"),
+        )
+        assert graph.has_edge(
+            URI("http://x/ligand/685"),
+            URI("http://x/ligand#mass"),
+            Literal("3431.9", datatype=XSD_DECIMAL),
+        )
+
+    def test_keys_not_exported_by_default(self, db):
+        """Paper framing: only non-key data values and FKs are kept."""
+        graph, __ = direct_mapping(db, "http://x/")
+        assert URI("http://x/ligand#ligand_id") not in graph
+
+    def test_keys_exported_on_request(self, db):
+        graph, entities = direct_mapping(db, "http://x/", include_keys=True)
+        assert graph.has_edge(
+            URI("http://x/ligand/685"),
+            URI("http://x/ligand#ligand_id"),
+            Literal("685", datatype=XSD_INTEGER),
+        )
+        assert ("attribute", "ligand", "ligand_id") in entities
+
+    def test_fk_triples_point_at_row_uris(self, db):
+        graph, __ = direct_mapping(db, "http://x/")
+        assert graph.has_edge(
+            URI("http://x/interaction/a%2Fb"),
+            URI("http://x/interaction#ref-ligand_id"),
+            URI("http://x/ligand/685"),
+        )
+
+    def test_fk_columns_not_exported_as_literals(self, db):
+        graph, __ = direct_mapping(db, "http://x/")
+        assert URI("http://x/interaction#ligand_id") not in graph
+
+    def test_graph_is_well_formed(self, db):
+        graph, __ = direct_mapping(db, "http://x/")
+        graph.validate()
+
+    def test_no_types_option(self, db):
+        graph, __ = direct_mapping(db, "http://x/", include_types=False)
+        assert not any(p == RDF_TYPE for __, p, __o in graph.edges())
+
+
+class TestEntityMap:
+    def test_row_entities(self, db):
+        __, entities = direct_mapping(db, "http://x/")
+        assert entities[("row", "ligand", (685,))] == URI("http://x/ligand/685")
+
+    def test_schema_entities(self, db):
+        __, entities = direct_mapping(db, "http://x/")
+        assert entities[("table", "ligand")] == URI("http://x/ligand")
+        assert entities[("attribute", "ligand", "name")] == URI("http://x/ligand#name")
+        assert entities[("reference", "interaction", ("ligand_id",))] == URI(
+            "http://x/interaction#ref-ligand_id"
+        )
+
+    def test_two_prefixes_share_no_uris(self, db):
+        graph1, __ = direct_mapping(db, "http://x/ver1/")
+        graph2, __ = direct_mapping(db, "http://x/ver2/")
+        uris1 = {graph1.label(n).value for n in graph1.uris()}
+        uris2 = {graph2.label(n).value for n in graph2.uris()}
+        shared = uris1 & uris2
+        # Only the version-independent rdf:type vocabulary is shared.
+        assert shared == {RDF_TYPE.value}
+
+    def test_ground_truth_joins_on_entities(self, db):
+        from repro.datasets.ground_truth import GroundTruth
+
+        __, entities1 = direct_mapping(db, "http://x/ver1/")
+        __, entities2 = direct_mapping(db, "http://x/ver2/")
+        truth = GroundTruth.from_entity_maps(entities1, entities2)
+        assert truth.partner_of_source(URI("http://x/ver1/ligand/685")) == URI(
+            "http://x/ver2/ligand/685"
+        )
+
+
+class TestValueLiteral:
+    def test_integer(self):
+        column = Column("n", ColumnType.INTEGER)
+        assert value_literal(column, 5) == Literal("5", datatype=XSD_INTEGER)
+
+    def test_decimal(self):
+        column = Column("n", ColumnType.DECIMAL)
+        assert value_literal(column, Decimal("1.50")) == Literal(
+            "1.50", datatype=XSD_DECIMAL
+        )
+
+    def test_text(self):
+        column = Column("n", ColumnType.TEXT)
+        assert value_literal(column, "x") == Literal("x")

@@ -1,0 +1,131 @@
+"""Tests for σEdit (repro.similarity.edit_distance) — paper Figure 7."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hybrid import hybrid_partition
+from repro.exceptions import ExperimentError
+from repro.model import RDFGraph, combine, lit, uri
+from repro.partition.interner import ColorInterner
+from repro.similarity.edit_distance import EditDistance
+
+
+@pytest.fixture
+def figure7_edit(figure7_combined):
+    interner = ColorInterner()
+    base = hybrid_partition(figure7_combined, interner)
+    return figure7_combined, EditDistance(
+        figure7_combined, base=base, interner=interner
+    )
+
+
+class TestFigure7Values:
+    """Every number stated in Example 5 (under our σEdit reading)."""
+
+    def test_literal_pair(self, figure7_edit):
+        graph, edit = figure7_edit
+        assert edit.distance(
+            graph.from_source(lit("abc")), graph.from_target(lit("ac"))
+        ) == pytest.approx(1 / 3)
+
+    def test_u_pair(self, figure7_edit):
+        graph, edit = figure7_edit
+        assert edit.distance(
+            graph.from_source(uri("u")), graph.from_target(uri("u2"))
+        ) == pytest.approx(1 / 3)
+
+    def test_v_pair(self, figure7_edit):
+        graph, edit = figure7_edit
+        assert edit.distance(
+            graph.from_source(uri("v")), graph.from_target(uri("v2"))
+        ) == pytest.approx(1 / 6)
+
+    def test_w_pair_distance_propagation(self, figure7_edit):
+        graph, edit = figure7_edit
+        assert edit.distance(
+            graph.from_source(uri("w")), graph.from_target(uri("w2"))
+        ) == pytest.approx(1 / 4)
+
+    def test_aligned_node_pairs_pinned_at_one(self, figure7_edit):
+        """σEdit("a", "ac") = 1 even though the raw edit distance is 1/2."""
+        graph, edit = figure7_edit
+        assert edit.distance(
+            graph.from_source(lit("a")), graph.from_target(lit("ac"))
+        ) == 1.0
+
+    def test_hybrid_aligned_pairs_are_zero(self, figure7_edit):
+        graph, edit = figure7_edit
+        assert edit.distance(
+            graph.from_source(lit("c")), graph.from_target(lit("c"))
+        ) == 0.0
+        assert edit.distance(
+            graph.from_source(uri("p")), graph.from_target(uri("p"))
+        ) == 0.0
+
+    def test_cross_pair_u_vprime(self, figure7_edit):
+        """Example 5's aside; our reading gives 2/3 (DESIGN.md §5.1)."""
+        graph, edit = figure7_edit
+        assert edit.distance(
+            graph.from_source(uri("u")), graph.from_target(uri("v2"))
+        ) == pytest.approx(2 / 3)
+
+
+class TestProperties:
+    def test_distances_in_unit_interval(self, figure7_edit):
+        graph, edit = figure7_edit
+        for n in graph.source_nodes:
+            for m in graph.target_nodes:
+                assert 0.0 <= edit.distance(n, m) <= 1.0
+
+    def test_aligned_pairs_iterator_respects_threshold(self, figure7_edit):
+        graph, edit = figure7_edit
+        for __, __, value in edit.aligned_pairs(theta=0.5):
+            assert value <= 0.5
+
+    def test_aligned_pairs_contains_figure7_matches(self, figure7_edit):
+        graph, edit = figure7_edit
+        pairs = {
+            (n, m) for n, m, __ in edit.aligned_pairs(theta=0.5)
+        }
+        assert (graph.from_source(uri("w")), graph.from_target(uri("w2"))) in pairs
+        assert (graph.from_source(lit("abc")), graph.from_target(lit("ac"))) in pairs
+
+    def test_rounds_recorded(self, figure7_edit):
+        __, edit = figure7_edit
+        assert edit.rounds_used >= 1
+
+    def test_sink_pair_distance_zero(self):
+        """Two unaligned sinks have identical (empty) content."""
+        g1 = RDFGraph()
+        g1.add(uri("x"), uri("p"), uri("sink1"))
+        g2 = RDFGraph()
+        g2.add(uri("x"), uri("p"), uri("sink2"))
+        union = combine(g1, g2)
+        edit = EditDistance(union)
+        # sink1/sink2 are blanked and aligned by hybrid already -> 0.
+        assert edit.distance(
+            union.from_source(uri("sink1")), union.from_target(uri("sink2"))
+        ) == 0.0
+
+    def test_max_pairs_guard(self, figure7_combined):
+        with pytest.raises(ExperimentError):
+            EditDistance(figure7_combined, max_pairs=1)
+
+
+class TestCyclicConvergence:
+    def test_cycles_converge(self):
+        g1 = RDFGraph()
+        g1.add(uri("a1"), uri("p"), uri("b1"))
+        g1.add(uri("b1"), uri("p"), uri("a1"))
+        g1.add(uri("a1"), uri("q"), lit("anchor-one"))
+        g2 = RDFGraph()
+        g2.add(uri("a2"), uri("p"), uri("b2"))
+        g2.add(uri("b2"), uri("p"), uri("a2"))
+        g2.add(uri("a2"), uri("q"), lit("anchor-two"))
+        union = combine(g1, g2)
+        edit = EditDistance(union, epsilon=1e-9, max_rounds=500)
+        value = edit.distance(
+            union.from_source(uri("a1")), union.from_target(uri("a2"))
+        )
+        assert 0.0 <= value <= 1.0

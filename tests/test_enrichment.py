@@ -1,0 +1,129 @@
+"""Tests for enrichment (repro.similarity.enrichment) — paper Section 4.4."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import RDFGraph, combine, lit, uri
+from repro.oplus import oplus
+from repro.partition.coloring import Partition
+from repro.partition.interner import ColorInterner
+from repro.partition.weighted import zero_weighted
+from repro.similarity.enrichment import (
+    WeightedBipartiteGraph,
+    component_weights,
+    enrich,
+    shortest_distances,
+)
+
+
+def bipartite(edges: dict) -> WeightedBipartiteGraph:
+    return WeightedBipartiteGraph(edges)
+
+
+class TestBipartiteGraph:
+    def test_node_sets_from_edges(self):
+        h = bipartite({("a1", "b1"): 0.2, ("a2", "b1"): 0.4})
+        assert h.source_nodes == {"a1", "a2"}
+        assert h.target_nodes == {"b1"}
+        assert len(h) == 2 and not h.is_empty
+
+    def test_empty(self):
+        assert bipartite({}).is_empty
+
+    def test_components_split_disconnected_pairs(self):
+        h = bipartite({("a1", "b1"): 0.2, ("a2", "b2"): 0.4})
+        components = h.components()
+        assert len(components) == 2
+        assert frozenset({"a1", "b1"}) in components
+
+    def test_components_merge_shared_nodes(self):
+        h = bipartite({("a1", "b1"): 0.2, ("a2", "b1"): 0.4, ("a3", "b3"): 0.1})
+        components = h.components()
+        assert len(components) == 2
+        assert frozenset({"a1", "a2", "b1"}) in components
+
+    def test_components_deterministic_order(self):
+        h = bipartite({("a2", "b2"): 0.1, ("a1", "b1"): 0.1})
+        assert h.components() == h.components()
+
+
+class TestShortestDistances:
+    def test_single_edge(self):
+        h = bipartite({("a", "b"): 0.3})
+        assert shortest_distances(h, "a")["b"] == pytest.approx(0.3)
+
+    def test_path_through_shared_node(self):
+        h = bipartite({("a1", "b"): 0.2, ("a2", "b"): 0.3})
+        distances = shortest_distances(h, "a1")
+        assert distances["a2"] == pytest.approx(0.5)
+
+    def test_distances_capped_at_one(self):
+        h = bipartite({("a1", "b1"): 0.9, ("a2", "b1"): 0.9})
+        assert shortest_distances(h, "a1")["a2"] == 1.0
+
+    def test_shortest_of_two_routes(self):
+        h = bipartite(
+            {("a1", "b1"): 0.1, ("a2", "b1"): 0.1, ("a1", "b2"): 0.9, ("a2", "b2"): 0.05}
+        )
+        # a1 -> b2 direct 0.9 vs a1-b1-a2-b2 = 0.25.
+        assert shortest_distances(h, "a1")["b2"] == pytest.approx(0.25)
+
+
+class TestComponentWeights:
+    def test_half_of_max_distance(self):
+        h = bipartite({("a", "b"): 0.4})
+        weights = component_weights(h, frozenset({"a", "b"}))
+        assert weights == {"a": pytest.approx(0.2), "b": pytest.approx(0.2)}
+
+    def test_triangle_inequality_guarantee(self):
+        h = bipartite({("a1", "b1"): 0.2, ("a2", "b1"): 0.6, ("a2", "b2"): 0.1})
+        (component,) = h.components()
+        weights = component_weights(h, component)
+        for (source, target), __ in h.edges.items():
+            d_star = shortest_distances(h, source)[target]
+            assert d_star <= oplus(weights[source], weights[target]) + 1e-9
+
+
+class TestEnrich:
+    def _setup(self):
+        g1 = RDFGraph()
+        g1.add(uri("s"), uri("p"), lit("old value"))
+        g2 = RDFGraph()
+        g2.add(uri("s"), uri("p"), lit("new value"))
+        union = combine(g1, g2)
+        interner = ColorInterner()
+        colors = {node: interner.node_color(node) for node in union.nodes()}
+        weighted = zero_weighted(Partition(colors))
+        return union, interner, weighted
+
+    def test_enrich_unifies_component_colors(self):
+        union, interner, weighted = self._setup()
+        a = union.from_source(lit("old value"))
+        b = union.from_target(lit("new value"))
+        h = bipartite({(a, b): 0.4})
+        enriched = enrich(weighted, h, interner, generation=1)
+        assert enriched.color(a) == enriched.color(b)
+        assert enriched.weight(a) == pytest.approx(0.2)
+        assert enriched.distance(a, b) == pytest.approx(0.4)
+
+    def test_enrich_untouched_nodes_keep_state(self):
+        union, interner, weighted = self._setup()
+        a = union.from_source(lit("old value"))
+        b = union.from_target(lit("new value"))
+        s = union.from_source(uri("s"))
+        enriched = enrich(weighted, bipartite({(a, b): 0.4}), interner, generation=1)
+        assert enriched.color(s) == weighted.color(s)
+        assert enriched.weight(s) == 0.0
+
+    def test_enrich_empty_graph_is_identity(self):
+        union, interner, weighted = self._setup()
+        assert enrich(weighted, bipartite({}), interner, generation=1) is weighted
+
+    def test_generations_keep_colors_distinct(self):
+        union, interner, weighted = self._setup()
+        a = union.from_source(lit("old value"))
+        b = union.from_target(lit("new value"))
+        first = enrich(weighted, bipartite({(a, b): 0.4}), interner, generation=1)
+        second = enrich(weighted, bipartite({(a, b): 0.4}), interner, generation=2)
+        assert first.color(a) != second.color(a)

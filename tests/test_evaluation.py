@@ -1,0 +1,252 @@
+"""Tests for the evaluation layer (metrics, precision, matrices, reporting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deblank import deblank_partition
+from repro.core.trivial import trivial_partition
+from repro.datasets.ground_truth import GroundTruth
+from repro.evaluation.matrices import (
+    VersionMatrix,
+    difference_matrix,
+    gradient_violations,
+    pairwise_matrix,
+)
+from repro.evaluation.metrics import (
+    aligned_edge_count,
+    aligned_edge_ratio,
+    ground_truth_entity_count,
+    matched_entity_count,
+    recall_against_truth,
+    total_entity_count,
+)
+from repro.evaluation.precision import PrecisionCounts, precision_counts
+from repro.evaluation.reporting import (
+    format_number,
+    render_bars,
+    render_heatmap,
+    render_matrix,
+    render_stacked_fractions,
+    render_table,
+)
+from repro.evaluation.timing import StopwatchSeries, time_call
+from repro.model import RDFGraph, blank, combine, lit, uri
+from repro.partition.coloring import Partition
+from repro.partition.interner import ColorInterner
+
+
+@pytest.fixture
+def simple_pair():
+    g1 = RDFGraph()
+    g1.add(uri("a"), uri("p"), lit("x"))
+    g1.add(uri("gone"), uri("p"), lit("y"))
+    g2 = RDFGraph()
+    g2.add(uri("a"), uri("p"), lit("x"))
+    g2.add(uri("new"), uri("p"), lit("z"))
+    union = combine(g1, g2)
+    truth = GroundTruth(
+        {uri("a"): uri("a"), uri("p"): uri("p"), lit("x"): lit("x")}
+    )
+    return union, truth
+
+
+class TestEdgeMetrics:
+    def test_self_alignment_ratio_is_one(self, figure3_graphs):
+        g1, __ = figure3_graphs
+        union = combine(g1, g1.copy())
+        partition = deblank_partition(union, ColorInterner())
+        assert aligned_edge_ratio(union, partition) == 1.0
+
+    def test_trivial_self_alignment_below_one_with_blanks(self, figure3_graphs):
+        g1, __ = figure3_graphs
+        union = combine(g1, g1.copy())
+        partition = trivial_partition(union, ColorInterner())
+        assert aligned_edge_ratio(union, partition) < 1.0
+
+    def test_ratio_and_count_consistent(self, simple_pair):
+        union, __ = simple_pair
+        partition = trivial_partition(union, ColorInterner())
+        count = aligned_edge_count(union, partition)
+        ratio = aligned_edge_ratio(union, partition)
+        assert count == 1  # only a-p-"x" aligns
+        assert ratio == pytest.approx(1 / 3)  # of edges {apx, gone-p-y, new-p-z}
+
+    def test_empty_graphs(self):
+        union = combine(RDFGraph(), RDFGraph())
+        partition = trivial_partition(union, ColorInterner())
+        assert aligned_edge_ratio(union, partition) == 1.0
+
+
+class TestEntityCounts:
+    def test_counts(self, simple_pair):
+        union, truth = simple_pair
+        partition = trivial_partition(union, ColorInterner())
+        assert matched_entity_count(union, partition) == 3  # a, p, "x"
+        assert ground_truth_entity_count(union, truth) == 3
+        assert total_entity_count(union, truth) == 5 + 5 - 3
+        assert recall_against_truth(union, partition, truth) == 1.0
+
+    def test_recall_with_missed_pair(self, simple_pair):
+        union, truth = simple_pair
+        partition = trivial_partition(union, ColorInterner())
+        harder = GroundTruth(
+            {uri("a"): uri("a"), uri("gone"): uri("new")}
+        )
+        assert recall_against_truth(union, partition, harder) == pytest.approx(0.5)
+
+    def test_recall_empty_truth(self, simple_pair):
+        union, __ = simple_pair
+        partition = trivial_partition(union, ColorInterner())
+        assert recall_against_truth(union, partition, GroundTruth({})) == 1.0
+
+
+class TestPrecision:
+    def test_classification(self, simple_pair):
+        union, truth = simple_pair
+        partition = trivial_partition(union, ColorInterner())
+        counts = precision_counts(union, partition, truth)
+        # Every node is exact here: shared nodes align 1-1, gone/new and
+        # their private literals align to nothing, matching the truth.
+        assert counts.missing == 0
+        assert counts.false == 0
+        assert counts.inclusive == 0
+        assert counts.exact == counts.total == 10
+
+    def test_false_and_missing(self, simple_pair):
+        union, __ = simple_pair
+        partition = trivial_partition(union, ColorInterner())
+        # Claim gone<->new in the truth: both are unaligned -> 2 missing.
+        truth = GroundTruth({uri("gone"): uri("new")})
+        counts = precision_counts(union, partition, truth)
+        assert counts.missing == 2
+        # Shared-label alignments (a, p, x on both sides) are now "false".
+        assert counts.false == 6
+
+    def test_inclusive(self):
+        g1 = RDFGraph()
+        g1.add(uri("a"), uri("p"), lit("x"))
+        g2 = RDFGraph()
+        g2.add(uri("a"), uri("p"), lit("x"))
+        union = combine(g1, g2)
+        colors = {node: 0 for node in union.nodes()}  # everything together
+        truth = GroundTruth({uri("a"): uri("a")})
+        counts = precision_counts(union, Partition(colors), truth)
+        assert counts.inclusive == 2  # both 'a' nodes see extra partners
+
+    def test_counts_add(self):
+        a = PrecisionCounts(1, 2, 3, 4)
+        b = PrecisionCounts(10, 20, 30, 40)
+        total = a + b
+        assert (total.exact, total.inclusive, total.missing, total.false) == (
+            11,
+            22,
+            33,
+            44,
+        )
+        assert a.fraction("exact") == pytest.approx(0.1)
+        assert PrecisionCounts(0, 0, 0, 0).fraction("exact") == 0.0
+
+
+class TestMatrices:
+    def test_pairwise_matrix_diagonal(self, figure3_graphs):
+        g1, g2 = figure3_graphs
+        matrix = pairwise_matrix(
+            [g1, g2],
+            lambda union: aligned_edge_ratio(
+                union, deblank_partition(union, ColorInterner())
+            ),
+        )
+        assert matrix[(0, 0)] == 1.0
+        assert matrix[(1, 1)] == 1.0
+        assert 0 < matrix[(0, 1)] <= 1.0
+
+    def test_symmetric_fill(self, figure3_graphs):
+        g1, g2 = figure3_graphs
+        calls = []
+
+        def counting_cell(union):
+            calls.append(1)
+            return 1.0
+
+        matrix = pairwise_matrix([g1, g2], counting_cell, symmetric_fill=True)
+        assert len(calls) == 3  # (0,0), (0,1), (1,1)
+        assert matrix[(1, 0)] == matrix[(0, 1)]
+
+    def test_difference_matrix(self):
+        a = VersionMatrix(size=1, values={(0, 0): 5.0})
+        b = VersionMatrix(size=1, values={(0, 0): 3.0})
+        assert difference_matrix(a, b)[(0, 0)] == 2.0
+        with pytest.raises(ValueError):
+            difference_matrix(a, VersionMatrix(size=2))
+
+    def test_gradient_violations(self):
+        matrix = VersionMatrix(size=3)
+        for source in range(3):
+            for target in range(3):
+                matrix[(source, target)] = 1.0 - 0.2 * abs(source - target)
+        assert gradient_violations(matrix) == []
+        matrix[(0, 2)] = 2.0  # further from diagonal yet larger
+        assert (0, 2) in gradient_violations(matrix)
+
+    def test_accessors(self):
+        matrix = VersionMatrix(size=2, values={(0, 0): 1.0, (1, 0): 2.0, (0, 1): 3.0, (1, 1): 4.0})
+        assert matrix.diagonal() == [1.0, 4.0]
+        assert matrix.row(0) == [1.0, 2.0]
+        assert matrix.max_value() == 4.0 and matrix.min_value() == 1.0
+        assert len(matrix.off_diagonal_pairs()) == 2
+
+
+class TestReporting:
+    def test_format_number(self):
+        assert format_number(None) == "-"
+        assert format_number(5) == "5"
+        assert format_number(0.5) == "0.5"
+        assert format_number(1.0) == "1"
+        assert format_number(1.23456, 3) == "1.235"
+        assert "e" in format_number(1e-9)
+        assert format_number("x") == "x"
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("bb")
+
+    def test_render_matrix(self):
+        matrix = VersionMatrix(size=2, values={(0, 0): 1, (0, 1): 2, (1, 0): 3, (1, 1): 4})
+        out = render_matrix(matrix)
+        assert "tgt\\src" in out
+
+    def test_render_heatmap_shape(self):
+        matrix = VersionMatrix(size=2, values={(0, 0): 0.0, (0, 1): 1.0, (1, 0): 0.5, (1, 1): 1.0})
+        out = render_heatmap(matrix)
+        assert len(out.splitlines()) == 3
+
+    def test_render_bars(self):
+        out = render_bars({"hybrid": 2.0, "overlap": 4.0})
+        assert "hybrid" in out and "#" in out
+        assert render_bars({}) == "(empty)"
+
+    def test_render_stacked_fractions(self):
+        out = render_stacked_fractions(
+            [("pair", {"exact": 8, "missing": 2})], ("exact", "missing"), width=10
+        )
+        assert "exact=8" in out and "#" in out
+
+
+class TestTiming:
+    def test_time_call(self):
+        timed = time_call(lambda: 42)
+        assert timed.value == 42 and timed.seconds >= 0.0
+
+    def test_stopwatch_series(self):
+        series = StopwatchSeries()
+        value = series.measure("m", 1, lambda: "ok")
+        assert value == "ok"
+        series.record("m", 2, 0.5)
+        assert series.names() == ["m"]
+        assert series.versions() == [1, 2]
+        assert series.get("m", 2) == 0.5
+        rows = series.as_rows()
+        assert rows[1] == {"version": 2, "m": 0.5}

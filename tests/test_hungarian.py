@@ -1,0 +1,108 @@
+"""Unit and property tests for the Hungarian algorithm (repro.similarity.hungarian)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.similarity.hungarian import matching_with_deletion, solve_assignment
+
+costs = st.lists(
+    st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=1, max_size=6),
+    min_size=1,
+    max_size=6,
+).filter(lambda rows: len({len(r) for r in rows}) == 1)
+
+
+class TestSolveAssignment:
+    def test_identity_matrix(self):
+        assignment, total = solve_assignment([[0.0, 1.0], [1.0, 0.0]])
+        assert assignment == [0, 1]
+        assert total == 0.0
+
+    def test_anti_identity(self):
+        assignment, total = solve_assignment([[1.0, 0.0], [0.0, 1.0]])
+        assert assignment == [1, 0]
+        assert total == 0.0
+
+    def test_rectangular_wide(self):
+        assignment, total = solve_assignment([[5.0, 1.0, 9.0]])
+        assert assignment == [1]
+        assert total == 1.0
+
+    def test_rectangular_tall(self):
+        assignment, total = solve_assignment([[5.0], [1.0], [9.0]])
+        assert assignment == [-1, 0, -1]
+        assert total == 1.0
+
+    def test_empty(self):
+        assert solve_assignment([]) == ([], 0.0)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            solve_assignment([[1.0, 2.0], [1.0]])
+
+    @given(matrix=costs)
+    @settings(max_examples=120, deadline=None)
+    def test_matches_scipy_on_random_instances(self, matrix):
+        __, total = solve_assignment(matrix)
+        arr = np.array(matrix)
+        rows, cols = linear_sum_assignment(arr)
+        assert total == pytest.approx(float(arr[rows, cols].sum()), abs=1e-9)
+
+    @given(matrix=costs)
+    @settings(max_examples=60, deadline=None)
+    def test_assignment_is_injective(self, matrix):
+        assignment, __ = solve_assignment(matrix)
+        used = [col for col in assignment if col >= 0]
+        assert len(used) == len(set(used))
+        assert len(used) == min(len(matrix), len(matrix[0]))
+
+
+class TestMatchingWithDeletion:
+    def test_prefers_cheap_matches(self):
+        pairs, total = matching_with_deletion([[0.0, 1.0], [1.0, 0.0]])
+        assert sorted(pairs) == [(0, 0), (1, 1)]
+        assert total == 0.0
+
+    def test_matching_cost_one_still_beats_two_deletions(self):
+        pairs, total = matching_with_deletion([[1.0]])
+        assert pairs == [(0, 0)]
+        assert total == 1.0
+
+    def test_expensive_matches_dropped(self):
+        """A pair costing more than two deletions stays unmatched."""
+        pairs, total = matching_with_deletion([[5.0]], deletion_cost=1.0)
+        assert pairs == []
+        assert total == 2.0
+
+    def test_size_mismatch_pays_deletions(self):
+        # 3 source edges vs 1 target edge: best = one 0-match + 2 deletions.
+        pairs, total = matching_with_deletion([[0.0], [0.0], [0.0]])
+        assert len(pairs) == 1
+        assert total == 2.0
+
+    def test_empty_inputs(self):
+        assert matching_with_deletion([]) == ([], 0.0)
+
+    def test_paper_u_uprime(self):
+        """Example 5: u={_(p,a),(p,b),(q,c)} vs u'={(p,a),(q,c)} → total 1."""
+        # rows: (p,"a"), (p,"b"), (q,"c"); cols: (p,"a"), (q,"c")
+        cost = [
+            [0.0, 1.0],
+            [1.0, 1.0],
+            [1.0, 0.0],
+        ]
+        pairs, total = matching_with_deletion(cost)
+        assert total == pytest.approx(1.0)  # two 0-matches + one deletion
+        assert (0, 0) in pairs and (2, 1) in pairs
+
+    @given(matrix=costs, deletion=st.floats(0.1, 2.0))
+    @settings(max_examples=60, deadline=None)
+    def test_total_bounded_by_all_deletions(self, matrix, deletion):
+        __, total = matching_with_deletion(matrix, deletion_cost=deletion)
+        rows, cols = len(matrix), len(matrix[0])
+        assert total <= deletion * (rows + cols) + 1e-9

@@ -1,0 +1,87 @@
+"""Incremental (worklist) refinement ≡ batch refinement."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bisimulation import bisimulation_partition
+from repro.core.incremental import incremental_refine_fixpoint
+from repro.core.refinement import bisim_refine_fixpoint
+from repro.exceptions import PartitionError
+from repro.model import RDFGraph, blank, combine, lit, uri
+from repro.partition.coloring import Partition, label_partition
+from repro.partition.interner import ColorInterner
+
+from .conftest import random_rdf_graph
+
+
+class TestEquivalenceWithBatch:
+    def test_figure2_full_bisimulation(self, figure2_graph):
+        batch = bisimulation_partition(figure2_graph)
+        interner = ColorInterner()
+        incremental = incremental_refine_fixpoint(
+            figure2_graph, label_partition(figure2_graph, interner), None, interner
+        )
+        assert incremental.equivalent_to(batch)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_full_bisimulation(self, seed):
+        graph = random_rdf_graph(random.Random(seed), num_edges=30)
+        interner_a = ColorInterner()
+        batch = bisim_refine_fixpoint(
+            graph, label_partition(graph, interner_a), None, interner_a
+        )
+        interner_b = ColorInterner()
+        incremental = incremental_refine_fixpoint(
+            graph, label_partition(graph, interner_b), None, interner_b
+        )
+        assert incremental.equivalent_to(batch)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_deblank_subset(self, seed):
+        rng = random.Random(seed)
+        union = combine(
+            random_rdf_graph(rng, num_edges=20, uri_prefix="x"),
+            random_rdf_graph(rng, num_edges=20, uri_prefix="x"),
+        )
+        interner_a = ColorInterner()
+        batch = bisim_refine_fixpoint(
+            union, label_partition(union, interner_a), union.blanks(), interner_a
+        )
+        interner_b = ColorInterner()
+        incremental = incremental_refine_fixpoint(
+            union, label_partition(union, interner_b), union.blanks(), interner_b
+        )
+        assert incremental.equivalent_to(batch)
+
+
+class TestPrecondition:
+    def test_mixed_class_rejected(self):
+        g = RDFGraph()
+        g.add(uri("a"), uri("p"), lit("x"))
+        g.add(uri("b"), uri("p"), lit("x"))
+        # Initial partition putting subset node 'a' and non-subset node 'b'
+        # into one class violates the precondition.
+        part = Partition({node: 0 for node in g.nodes()})
+        with pytest.raises(PartitionError):
+            incremental_refine_fixpoint(g, part, [uri("a")], ColorInterner())
+
+    def test_cycles_handled(self):
+        g = RDFGraph()
+        g.add(blank("x1"), uri("p"), blank("x2"))
+        g.add(blank("x2"), uri("p"), blank("x1"))
+        g.add(blank("y"), uri("p"), blank("y"))
+        g.add(blank("z"), uri("q"), lit("v"))
+        interner = ColorInterner()
+        incremental = incremental_refine_fixpoint(
+            g, label_partition(g, interner), g.blanks(), interner
+        )
+        batch_interner = ColorInterner()
+        batch = bisim_refine_fixpoint(
+            g, label_partition(g, batch_interner), g.blanks(), batch_interner
+        )
+        assert incremental.equivalent_to(batch)
+        assert incremental.same_class(blank("x1"), blank("y"))
+        assert not incremental.same_class(blank("x1"), blank("z"))

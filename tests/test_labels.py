@@ -1,0 +1,90 @@
+"""Unit tests for node labels (repro.model.labels)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.labels import (
+    BLANK,
+    BlankLabel,
+    Literal,
+    NodeKind,
+    URI,
+    is_blank,
+    is_literal,
+    is_uri,
+    label_sort_key,
+)
+
+
+class TestURI:
+    def test_equality_is_by_value(self):
+        assert URI("http://x/a") == URI("http://x/a")
+        assert URI("http://x/a") != URI("http://x/b")
+
+    def test_hashable_and_usable_as_dict_key(self):
+        d = {URI("a"): 1}
+        assert d[URI("a")] == 1
+
+    def test_kind(self):
+        assert URI("a").kind is NodeKind.URI
+
+    def test_str_and_repr(self):
+        assert str(URI("http://x")) == "http://x"
+        assert "http://x" in repr(URI("http://x"))
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            URI("a").value = "b"  # type: ignore[misc]
+
+
+class TestLiteral:
+    def test_equality_includes_language_and_datatype(self):
+        assert Literal("a") == Literal("a")
+        assert Literal("a", language="en") != Literal("a")
+        assert Literal("a", datatype="http://x#int") != Literal("a")
+        assert Literal("a", language="en") != Literal("a", language="fr")
+
+    def test_language_and_datatype_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            Literal("a", language="en", datatype="http://x#string")
+
+    def test_kind(self):
+        assert Literal("a").kind is NodeKind.LITERAL
+
+    def test_repr_mentions_extras(self):
+        assert "language" in repr(Literal("a", language="en"))
+        assert "datatype" in repr(Literal("a", datatype="http://x"))
+        assert "language" not in repr(Literal("a"))
+
+    def test_uri_and_literal_never_equal(self):
+        assert URI("a") != Literal("a")
+        assert Literal("a") != URI("a")
+
+
+class TestBlankLabel:
+    def test_singleton(self):
+        assert BlankLabel() is BLANK
+
+    def test_equality(self):
+        assert BLANK == BlankLabel()
+        assert BLANK != URI("a")
+        assert BLANK != Literal("a")
+
+    def test_kind(self):
+        assert BLANK.kind is NodeKind.BLANK
+
+    def test_hash_stable(self):
+        assert hash(BLANK) == hash(BlankLabel())
+
+
+class TestPredicates:
+    def test_is_functions(self):
+        assert is_uri(URI("a")) and not is_uri(Literal("a")) and not is_uri(BLANK)
+        assert is_literal(Literal("a")) and not is_literal(URI("a"))
+        assert is_blank(BLANK) and not is_blank(URI("a"))
+
+    def test_sort_key_total_order(self):
+        labels = [BLANK, Literal("b"), URI("z"), Literal("a"), URI("a")]
+        ordered = sorted(labels, key=label_sort_key)
+        assert ordered == [URI("a"), URI("z"), Literal("a"), Literal("b"), BLANK]

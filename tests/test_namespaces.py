@@ -1,0 +1,63 @@
+"""Tests for namespaces (repro.model.namespaces)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.labels import URI
+from repro.model.namespaces import (
+    DCT,
+    Namespace,
+    OBO_NEW,
+    OBO_OLD,
+    RDF,
+    RDF_TYPE,
+    RDFS_LABEL,
+    SKOS,
+    XSD_INTEGER,
+)
+
+
+class TestNamespace:
+    def test_term_minting(self):
+        ns = Namespace("http://example.org/ns#")
+        assert ns.term("thing") == URI("http://example.org/ns#thing")
+        assert ns["thing"] == ns.term("thing")
+
+    def test_containment(self):
+        ns = Namespace("http://example.org/ns#")
+        assert ns["a"] in ns
+        assert URI("http://other.org/a") not in ns
+
+    def test_local_name(self):
+        ns = Namespace("http://example.org/ns#")
+        assert ns.local_name(ns["abc"]) == "abc"
+        with pytest.raises(ValueError):
+            ns.local_name(URI("http://other.org/a"))
+
+    def test_prefix_property_and_repr(self):
+        ns = Namespace("http://x/")
+        assert ns.prefix == "http://x/"
+        assert "http://x/" in repr(ns)
+
+
+class TestWellKnownTerms:
+    def test_rdf_type(self):
+        assert RDF_TYPE == RDF["type"]
+        assert RDF_TYPE.value.endswith("#type")
+
+    def test_rdfs_label(self):
+        assert RDFS_LABEL.value == "http://www.w3.org/2000/01/rdf-schema#label"
+
+    def test_xsd_integer_is_string(self):
+        assert isinstance(XSD_INTEGER, str)
+        assert XSD_INTEGER.endswith("integer")
+
+    def test_obo_prefixes_match_paper(self):
+        """The paper's example rename: purl.org/obo/owl → purl.obolibrary.org."""
+        assert OBO_OLD.prefix == "http://purl.org/obo/owl/"
+        assert OBO_NEW.prefix == "http://purl.obolibrary.org/obo/"
+
+    def test_dataset_vocabularies(self):
+        assert SKOS["broader"].value.startswith("http://www.w3.org/2004")
+        assert DCT["subject"].value.startswith("http://purl.org/dc/terms/")

@@ -1,0 +1,137 @@
+"""Unit and property tests for the N-Triples reader/writer."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParseError
+from repro.io import ntriples
+from repro.model import RDFGraph, blank, lit, uri
+from repro.model.graph import isomorphic_by_labels
+
+
+class TestParseLine:
+    def test_simple_triple(self):
+        triple = ntriples.parse_line('<http://a> <http://p> <http://b> .')
+        assert triple == (uri("http://a"), uri("http://p"), uri("http://b"))
+
+    def test_literal_object(self):
+        triple = ntriples.parse_line('<http://a> <http://p> "hello" .')
+        assert triple[2] == lit("hello")
+
+    def test_language_tag(self):
+        triple = ntriples.parse_line('<http://a> <http://p> "hi"@en-GB .')
+        assert triple[2] == lit("hi", language="en-GB")
+
+    def test_datatype(self):
+        triple = ntriples.parse_line('<a> <p> "5"^^<http://int> .')
+        assert triple[2] == lit("5", datatype="http://int")
+
+    def test_blank_nodes(self):
+        triple = ntriples.parse_line("_:x <p> _:y .")
+        assert triple == (blank("x"), uri("p"), blank("y"))
+
+    def test_escapes_in_literal(self):
+        triple = ntriples.parse_line(r'<a> <p> "tab\there\nnl \"q\" \\" .')
+        assert triple[2] == lit('tab\there\nnl "q" \\')
+
+    def test_unicode_escapes(self):
+        triple = ntriples.parse_line(r'<a> <p> "é\U0001F600" .')
+        assert triple[2] == lit("é😀")
+
+    def test_comment_and_empty_lines(self):
+        assert ntriples.parse_line("# comment") is None
+        assert ntriples.parse_line("   ") is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<a> <p> <b>",  # missing dot
+            '<a> <p> "unterminated .',
+            "<a <p> <b> .",
+            "<a> <p> .",
+            '"lit" <p> <b> .',  # literal subject
+            "<a> _:b <c> .",  # blank predicate
+            "<a> <p> <b> . trailing",
+            r'<a> <p> "\q" .',  # unknown escape
+            r'<a> <p> "\u12" .',  # truncated escape
+            "_: <p> <b> .",  # empty blank label
+            '<a> <p> "x"@ .',  # empty language
+        ],
+    )
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(ParseError):
+            ntriples.parse_line(bad)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            ntriples.parse_line("<a> <p> <b>", line_number=42)
+        assert excinfo.value.line_number == 42
+        assert "42" in str(excinfo.value)
+
+
+class TestDocumentIO:
+    def test_loads_skips_comments(self):
+        text = "# header\n<a> <p> <b> .\n\n<a> <p> \"x\" .\n"
+        graph = ntriples.loads(text)
+        assert graph.num_edges == 2
+
+    def test_load_stream(self):
+        stream = io.StringIO("<a> <p> <b> .\n")
+        assert ntriples.load(stream).num_edges == 1
+
+    def test_dumps_sorted_and_deterministic(self):
+        g = RDFGraph()
+        g.add(uri("b"), uri("p"), lit("x"))
+        g.add(uri("a"), uri("p"), lit("x"))
+        out = ntriples.dumps(g)
+        assert out.index("<a>") < out.index("<b>")
+        assert out == ntriples.dumps(g)
+
+    def test_dump_and_load_path(self, tmp_path, figure1_graphs):
+        v1, __ = figure1_graphs
+        path = tmp_path / "v1.nt"
+        ntriples.dump_path(v1, path)
+        loaded = ntriples.load_path(path)
+        loaded.validate()
+        assert isomorphic_by_labels(v1, loaded)
+
+    def test_empty_graph_serializes_to_empty(self):
+        assert ntriples.dumps(RDFGraph()) == ""
+
+
+class TestRoundTrip:
+    def test_figure1_round_trip(self, figure1_graphs):
+        for graph in figure1_graphs:
+            text = ntriples.dumps(graph)
+            again = ntriples.loads(text)
+            assert isomorphic_by_labels(graph, again)
+            assert ntriples.dumps(again) == text
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.text(
+                alphabet=st.characters(blacklist_categories=("Cs",)),
+                max_size=20,
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_literal_values_round_trip(self, values):
+        g = RDFGraph()
+        for index, value in enumerate(values):
+            g.add(uri(f"s{index}"), uri("p"), lit(value))
+        again = ntriples.loads(ntriples.dumps(g))
+        assert {t[2] for t in again.triples() if isinstance(t[2], type(lit("")))} == {
+            lit(v) for v in values
+        }
+
+    def test_format_term_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            ntriples.format_term(42)  # type: ignore[arg-type]

@@ -1,0 +1,71 @@
+"""Unit and property tests for the ⊕ operators (repro.oplus)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.oplus import (
+    OPERATORS,
+    oplus,
+    oplus_max,
+    oplus_probabilistic,
+    oplus_sum,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestCappedAddition:
+    def test_basic(self):
+        assert oplus(0.2, 0.3) == pytest.approx(0.5)
+        assert oplus(0.8, 0.7) == 1.0
+        assert oplus(0.0, 0.0) == 0.0
+
+    def test_fold(self):
+        assert oplus_sum([0.1, 0.2, 0.3]) == pytest.approx(0.6)
+        assert oplus_sum([]) == 0.0
+        assert oplus_sum([0.9, 0.9]) == 1.0
+
+    def test_operator_table(self):
+        assert OPERATORS["capped"] is oplus
+        assert set(OPERATORS) == {"capped", "probabilistic", "max"}
+
+
+@pytest.mark.parametrize("name,operator", sorted(OPERATORS.items()))
+class TestOperatorLaws:
+    """All ⊕ variants must satisfy the paper's requirements."""
+
+    @given(x=unit, y=unit)
+    def test_commutative(self, name, operator, x, y):
+        assert operator(x, y) == pytest.approx(operator(y, x))
+
+    @given(x=unit, y=unit, z=unit)
+    def test_associative(self, name, operator, x, y, z):
+        assert operator(operator(x, y), z) == pytest.approx(
+            operator(x, operator(y, z))
+        )
+
+    @given(x=unit)
+    def test_zero_is_neutral(self, name, operator, x):
+        assert operator(x, 0.0) == pytest.approx(x)
+
+    @given(x=unit, y=unit)
+    def test_bounded(self, name, operator, x, y):
+        assert 0.0 <= operator(x, y) <= 1.0
+
+    @given(x=unit, y=unit, z=unit)
+    def test_monotone(self, name, operator, x, y, z):
+        if y <= z:
+            assert operator(x, y) <= operator(x, z) + 1e-12
+
+
+@given(x=unit, y=unit)
+def test_probabilistic_below_capped(x, y):
+    assert oplus_probabilistic(x, y) <= oplus(x, y) + 1e-12
+
+
+@given(x=unit, y=unit)
+def test_max_below_capped(x, y):
+    assert oplus_max(x, y) <= oplus(x, y)

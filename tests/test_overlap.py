@@ -1,0 +1,150 @@
+"""Tests for the overlap heuristic — Algorithm 1 (repro.similarity.overlap)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity.overlap import (
+    overlap_coefficient,
+    overlap_match,
+    probe_budget,
+    set_difference_distance,
+)
+
+object_sets = st.frozensets(st.sampled_from("abcdefgh"), max_size=8)
+
+
+class TestMeasures:
+    def test_overlap_known_values(self):
+        assert overlap_coefficient(frozenset("ab"), frozenset("ab")) == 1.0
+        assert overlap_coefficient(frozenset("ab"), frozenset("bc")) == pytest.approx(1 / 3)
+        assert overlap_coefficient(frozenset("ab"), frozenset("cd")) == 0.0
+
+    def test_empty_conventions(self):
+        assert overlap_coefficient(frozenset(), frozenset()) == 1.0
+        assert set_difference_distance(frozenset(), frozenset()) == 0.0
+
+    @given(first=object_sets, second=object_sets)
+    def test_diff_is_one_minus_overlap(self, first, second):
+        assert set_difference_distance(first, second) == pytest.approx(
+            1.0 - overlap_coefficient(first, second)
+        )
+
+    @given(first=object_sets)
+    def test_self_overlap_is_one(self, first):
+        assert overlap_coefficient(first, first) == 1.0
+
+
+class TestProbeBudget:
+    def test_paper_rule(self):
+        assert probe_budget(10, 0.65, "paper") == 7
+        assert probe_budget(3, 0.65, "paper") == 2
+
+    def test_safe_rule(self):
+        assert probe_budget(10, 0.65, "safe") == 4
+        assert probe_budget(3, 0.65, "safe") == 2
+
+    def test_zero_size(self):
+        assert probe_budget(0, 0.65, "paper") == 0
+
+    def test_unknown_rule(self):
+        with pytest.raises(ValueError):
+            probe_budget(5, 0.5, "bogus")  # type: ignore[arg-type]
+
+    @given(size=st.integers(1, 50), theta=st.floats(0.5, 1.0))
+    def test_paper_rule_safe_for_high_theta(self, size, theta):
+        """For θ ≥ (k+1)/2k the paper budget covers the safe budget."""
+        if theta >= (size + 1) / (2 * size):
+            assert probe_budget(size, theta, "paper") >= probe_budget(
+                size, theta, "safe"
+            )
+
+
+def word_characterizer(words: dict):
+    return lambda node: frozenset(words[node])
+
+
+class TestOverlapMatch:
+    def test_finds_close_pairs(self):
+        words = {
+            "a1": {"experimental", "factor", "ontology"},
+            "b1": {"experimental", "factor", "ontology", "v2"},
+            "b2": {"totally", "different"},
+        }
+        result = overlap_match(
+            ["a1"],
+            ["b1", "b2"],
+            theta=0.6,
+            characterize=word_characterizer(words),
+            distance=lambda n, m: 0.1,
+        )
+        assert set(result.edges) == {("a1", "b1")}
+        assert result.edges[("a1", "b1")] == 0.1
+
+    def test_distance_filter_rejects(self):
+        words = {"a1": {"x", "y"}, "b1": {"x", "y"}}
+        result = overlap_match(
+            ["a1"],
+            ["b1"],
+            theta=0.5,
+            characterize=word_characterizer(words),
+            distance=lambda n, m: 0.9,
+        )
+        assert result.is_empty
+
+    def test_empty_characterization_skipped(self):
+        words = {"a1": set(), "b1": {"x"}}
+        result = overlap_match(
+            ["a1"], ["b1"], 0.5, word_characterizer(words), lambda n, m: 0.0
+        )
+        assert result.is_empty
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            overlap_match([], [], 0.0, lambda n: frozenset(), lambda n, m: 0.0)
+
+    def test_safe_probe_finds_low_theta_candidates(self):
+        """At θ < 0.5 the paper rule can miss; the safe rule cannot.
+
+        char(a) has 5 objects, exactly the *most frequent* one is shared:
+        the paper budget ⌈5·0.4⌉ = 2 probes the two rarest objects and
+        misses; the safe budget 5−2+1 = 4 probes enough to find it.
+        """
+        words = {
+            "a": {"rare1", "rare2", "rare3", "rare4", "common"},
+            "b_common1": {"common", "x1", "x2"},
+            "b_rare_holder": {"y1"},
+        }
+        # Frequencies over B: common appears once, y1 once; rare* never.
+        # Overlap(a, b_common1) = 1/7 < θ, so give them more shared objects.
+        words["a"] = {"common", "x1", "x2", "rare1", "rare2"}
+        # overlap = 3/7 = 0.43 ≥ 0.4
+        kwargs = dict(
+            source_nodes=["a"],
+            target_nodes=["b_common1", "b_rare_holder"],
+            theta=0.4,
+            characterize=word_characterizer(words),
+            distance=lambda n, m: 0.0,
+        )
+        paper = overlap_match(probe="paper", **kwargs)
+        safe = overlap_match(probe="safe", **kwargs)
+        assert ("a", "b_common1") in safe.edges
+        # The paper rule probes ⌈5·0.4⌉ = 2 least frequent objects
+        # (rare1, rare2 — frequency 0), both missing from the index.
+        assert ("a", "b_common1") not in paper.edges
+
+    def test_candidates_verified_once(self):
+        """A target reachable through several objects is tested once."""
+        calls = []
+
+        def counting_distance(n, m):
+            calls.append((n, m))
+            return 0.1
+
+        words = {"a": {"x", "y"}, "b": {"x", "y"}}
+        overlap_match(["a"], ["b"], 0.5, word_characterizer(words), counting_distance)
+        assert calls == [("a", "b")]

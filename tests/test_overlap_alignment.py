@@ -1,0 +1,165 @@
+"""Tests for the overlap alignment — Algorithm 2 (paper Figures 7/8, Theorem 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hybrid import hybrid_partition
+from repro.model import RDFGraph, combine, lit, uri
+from repro.oplus import oplus
+from repro.partition.alignment import align
+from repro.partition.interner import ColorInterner
+from repro.similarity.edit_distance import EditDistance
+from repro.similarity.overlap_alignment import (
+    OverlapTrace,
+    non_literal_distance,
+    out_color_characterizer,
+    overlap_partition,
+)
+from repro.partition.weighted import zero_weighted
+from repro.similarity.string_distance import character_set
+
+
+@pytest.fixture
+def figure8(figure7_combined):
+    """The overlap weighted partition of the Figure 7 graphs."""
+    interner = ColorInterner()
+    trace = OverlapTrace()
+    weighted = overlap_partition(
+        figure7_combined,
+        theta=0.65,
+        interner=interner,
+        splitter=character_set,
+        trace=trace,
+    )
+    return figure7_combined, weighted, trace
+
+
+class TestFigure8:
+    """The pairwise σξ values decorating the paper's Figure 8."""
+
+    def test_literal_pair_distance(self, figure8):
+        graph, weighted, __ = figure8
+        assert weighted.distance(
+            graph.from_source(lit("abc")), graph.from_target(lit("ac"))
+        ) == pytest.approx(1 / 3)
+
+    def test_w_pair_distance(self, figure8):
+        graph, weighted, __ = figure8
+        assert weighted.distance(
+            graph.from_source(uri("w")), graph.from_target(uri("w2"))
+        ) == pytest.approx(1 / 4)
+
+    def test_u_pair_distance(self, figure8):
+        graph, weighted, __ = figure8
+        assert weighted.distance(
+            graph.from_source(uri("u")), graph.from_target(uri("u2"))
+        ) == pytest.approx(1 / 3)
+
+    def test_v_pair_distance(self, figure8):
+        graph, weighted, __ = figure8
+        assert weighted.distance(
+            graph.from_source(uri("v")), graph.from_target(uri("v2"))
+        ) == pytest.approx(1 / 6)
+
+    def test_example6_cross_cluster_pair(self, figure8):
+        """Example 6: u and v′ are in different clusters, so σξ = 1."""
+        graph, weighted, __ = figure8
+        assert weighted.distance(
+            graph.from_source(uri("u")), graph.from_target(uri("v2"))
+        ) == 1.0
+
+    def test_unmatched_literal_stays_unaligned(self, figure8):
+        graph, weighted, __ = figure8
+        alignment = align(graph, weighted.partition)
+        assert not alignment.partners(graph.from_source(lit("b")))
+
+    def test_trace_records_rounds(self, figure8):
+        __, __, trace = figure8
+        assert trace.literal_matches == 1
+        assert trace.rounds[-1] == 0  # terminated because nothing new
+        assert not trace.stopped_by_round_limit
+
+
+class TestTheorem1:
+    def test_overlap_approximates_edit_distance(self, figure8):
+        """Same overlap cluster ⇒ σEdit(n, m) ≤ ω(n) ⊕ ω(m)."""
+        graph, weighted, __ = figure8
+        interner = ColorInterner()
+        edit = EditDistance(
+            graph, base=hybrid_partition(graph, interner), interner=interner
+        )
+        alignment = align(graph, weighted.partition)
+        for source, target in alignment.pairs():
+            bound = oplus(weighted.weight(source), weighted.weight(target))
+            assert edit.distance(source, target) <= bound + 1e-9
+
+
+class TestSigmaNL:
+    def test_same_color_edges_couple(self, figure7_combined):
+        graph = figure7_combined
+        interner = ColorInterner()
+        weighted = zero_weighted(hybrid_partition(graph, interner))
+        sigma = non_literal_distance(graph, weighted)
+        # u has 3 out edges, u2 has 2; the (p,a) and (q,c) pairs couple at
+        # weight 0, the (p,b) edge stays uncoupled: R/f = 1/3.
+        value = sigma(graph.from_source(uri("u")), graph.from_target(uri("u2")))
+        assert value == pytest.approx(1 / 3)
+
+    def test_sinks_have_zero_distance(self):
+        g1 = RDFGraph()
+        g1.add(uri("x"), uri("p"), uri("s1"))
+        g2 = RDFGraph()
+        g2.add(uri("x"), uri("p"), uri("s2"))
+        union = combine(g1, g2)
+        interner = ColorInterner()
+        weighted = zero_weighted(hybrid_partition(union, interner))
+        sigma = non_literal_distance(union, weighted)
+        assert sigma(union.from_source(uri("s1")), union.from_target(uri("s2"))) == 0.0
+
+    def test_out_color_characterizer(self, figure7_combined):
+        graph = figure7_combined
+        interner = ColorInterner()
+        weighted = zero_weighted(hybrid_partition(graph, interner))
+        characterize = out_color_characterizer(graph, weighted)
+        u_chars = characterize(graph.from_source(uri("u")))
+        u2_chars = characterize(graph.from_target(uri("u2")))
+        assert len(u_chars) == 3 and len(u2_chars) == 2
+        assert len(u_chars & u2_chars) == 2
+
+
+class TestAlgorithmBehaviour:
+    def test_overlap_refines_hybrid(self, figure7_combined):
+        """Every hybrid-aligned pair stays aligned by overlap."""
+        graph = figure7_combined
+        interner = ColorInterner()
+        base = hybrid_partition(graph, interner)
+        weighted = overlap_partition(
+            graph, interner=interner, base=base, splitter=character_set
+        )
+        hybrid_pairs = set(align(graph, base).pairs())
+        overlap_pairs = set(align(graph, weighted.partition).pairs())
+        assert hybrid_pairs <= overlap_pairs
+
+    def test_theta_one_rejected_pairs(self, figure7_combined):
+        """A very strict threshold aligns nothing new beyond hybrid."""
+        graph = figure7_combined
+        interner = ColorInterner()
+        base = hybrid_partition(graph, interner)
+        weighted = overlap_partition(
+            graph, theta=0.05, interner=interner, base=base, splitter=character_set
+        )
+        assert set(align(graph, weighted.partition).pairs()) == set(
+            align(graph, base).pairs()
+        )
+
+    def test_self_alignment_has_no_unaligned_nodes(self, figure7_graphs):
+        g1, __ = figure7_graphs
+        union = combine(g1, g1.copy())
+        weighted = overlap_partition(union, splitter=character_set)
+        assert not align(union, weighted.partition).unaligned()
+
+    def test_weights_zero_for_hybrid_aligned(self, figure8):
+        graph, weighted, __ = figure8
+        assert weighted.weight(graph.from_source(lit("c"))) == 0.0
+        assert weighted.weight(graph.from_source(uri("p"))) == 0.0

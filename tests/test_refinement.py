@@ -1,0 +1,134 @@
+"""Unit tests for bisimulation partition refinement (repro.core.refinement)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.refinement import (
+    bisim_refine_fixpoint,
+    bisim_refine_step,
+    recolor_key,
+    refinement_trace,
+)
+from repro.model import RDFGraph, blank, lit, uri
+from repro.partition.coloring import label_partition
+from repro.partition.interner import ColorInterner
+
+from .conftest import random_rdf_graph
+
+
+class TestRecolorKey:
+    def test_key_contains_old_color_and_pairs(self, figure2_graph):
+        interner = ColorInterner()
+        part = label_partition(figure2_graph, interner)
+        key = recolor_key(figure2_graph, part, uri("w"))
+        tag, old_color, pairs = key
+        assert tag == "recolor"
+        assert old_color == part[uri("w")]
+        assert len(pairs) == 2  # (p,b1) and (q,u)
+
+    def test_key_canonical_order(self, figure2_graph):
+        interner = ColorInterner()
+        part = label_partition(figure2_graph, interner)
+        key = recolor_key(figure2_graph, part, blank("b1"))
+        assert list(key[2]) == sorted(key[2])
+
+    def test_sink_key_has_empty_pairs(self, figure2_graph):
+        interner = ColorInterner()
+        part = label_partition(figure2_graph, interner)
+        assert recolor_key(figure2_graph, part, lit("a"))[2] == ()
+
+
+class TestOneStep:
+    def test_step_is_finer(self, figure2_graph):
+        interner = ColorInterner()
+        part = label_partition(figure2_graph, interner)
+        refined = bisim_refine_step(
+            figure2_graph, part, list(figure2_graph.nodes()), interner
+        )
+        assert refined.finer_than(part)
+
+    def test_step_respects_subset(self, figure2_graph):
+        interner = ColorInterner()
+        part = label_partition(figure2_graph, interner)
+        refined = bisim_refine_step(figure2_graph, part, [blank("b1")], interner)
+        # Only b1 changed color.
+        changed = [n for n in part if part[n] != refined[n]]
+        assert changed == [blank("b1")]
+
+    def test_representation_independence(self, figure2_graph):
+        """Equivalent inputs give equivalent outputs (Definition 3)."""
+        interner = ColorInterner()
+        part = label_partition(figure2_graph, interner)
+        # A recolored but equivalent copy of the same partition.
+        remap = {color: color + 1000 for color in set(part.as_dict().values())}
+        recolored = part.with_colors({n: remap[part[n]] for n in part})
+        assert part.equivalent_to(recolored)
+        nodes = list(figure2_graph.nodes())
+        first = bisim_refine_step(figure2_graph, part, nodes, interner)
+        second = bisim_refine_step(figure2_graph, recolored, nodes, interner)
+        assert first.equivalent_to(second)
+
+
+class TestFixpoint:
+    def test_figure2_bisimilar_blanks(self, figure2_graph):
+        interner = ColorInterner()
+        part = bisim_refine_fixpoint(
+            figure2_graph, label_partition(figure2_graph, interner), None, interner
+        )
+        assert part.same_class(blank("b2"), blank("b3"))
+        assert not part.same_class(blank("b1"), blank("b2"))
+
+    def test_fixpoint_is_stable(self, figure2_graph):
+        interner = ColorInterner()
+        part = bisim_refine_fixpoint(
+            figure2_graph, label_partition(figure2_graph, interner), None, interner
+        )
+        again = bisim_refine_step(
+            figure2_graph, part, list(figure2_graph.nodes()), interner
+        )
+        assert again.equivalent_to(part)
+
+    def test_fixpoint_is_finer_than_initial(self, figure2_graph):
+        interner = ColorInterner()
+        initial = label_partition(figure2_graph, interner)
+        part = bisim_refine_fixpoint(figure2_graph, initial, None, interner)
+        assert part.finer_than(initial)
+
+    def test_max_rounds_cuts_iteration(self, figure2_graph):
+        interner = ColorInterner()
+        initial = label_partition(figure2_graph, interner)
+        bounded = bisim_refine_fixpoint(
+            figure2_graph, initial, None, interner, max_rounds=0
+        )
+        assert bounded.equivalent_to(initial)
+
+    def test_random_graphs_terminate(self, rng):
+        for _ in range(10):
+            graph = random_rdf_graph(rng, num_edges=20)
+            interner = ColorInterner()
+            part = bisim_refine_fixpoint(
+                graph, label_partition(graph, interner), None, interner
+            )
+            assert part.finer_than(label_partition(graph, ColorInterner()))
+
+
+class TestTrace:
+    def test_trace_matches_figure4_round_count(self, figure2_graph):
+        """Figure 4: the fixpoint is reached after one productive round (λ1)."""
+        interner = ColorInterner()
+        trace = refinement_trace(
+            figure2_graph, label_partition(figure2_graph, interner), None, interner
+        )
+        # λ0 (labels) then λ1; λ2 ≡ λ1 so the trace stops at λ1.
+        assert len(trace) == 2
+
+    def test_trace_is_monotone(self, figure2_graph, rng):
+        graph = random_rdf_graph(rng, num_edges=25)
+        interner = ColorInterner()
+        trace = refinement_trace(graph, label_partition(graph, interner), None, interner)
+        for coarser, finer in zip(trace, trace[1:]):
+            assert finer.finer_than(coarser)
+            assert finer.num_classes > coarser.num_classes

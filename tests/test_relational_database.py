@@ -1,0 +1,174 @@
+"""Unit tests for the relational database (repro.relational.database)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.database import RelationalDatabase
+from repro.relational.evolution import (
+    bulk_update,
+    changed_rows,
+    delete_with_referents,
+    diff_keys,
+    next_version,
+)
+from repro.relational.schema import Column, ColumnType, ForeignKey, Table, make_schema
+
+
+@pytest.fixture
+def schema():
+    return make_schema(
+        [
+            Table(
+                name="author",
+                columns=(
+                    Column("author_id", ColumnType.INTEGER),
+                    Column("name", ColumnType.TEXT),
+                ),
+                primary_key=("author_id",),
+            ),
+            Table(
+                name="book",
+                columns=(
+                    Column("book_id", ColumnType.INTEGER),
+                    Column("title", ColumnType.TEXT),
+                    Column("author_id", ColumnType.INTEGER),
+                    Column("price", ColumnType.DECIMAL, nullable=True),
+                ),
+                primary_key=("book_id",),
+                foreign_keys=(ForeignKey(("author_id",), "author"),),
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def db(schema):
+    database = RelationalDatabase(schema)
+    database.insert("author", {"author_id": 1, "name": "Peter"})
+    database.insert("author", {"author_id": 2, "name": "Slawek"})
+    database.insert("book", {"book_id": 10, "title": "Archiving", "author_id": 1})
+    return database
+
+
+class TestInsert:
+    def test_insert_returns_key(self, db):
+        key = db.insert("book", {"book_id": 11, "title": "Alignment", "author_id": 2})
+        assert key == (11,)
+        assert db.count("book") == 2
+
+    def test_duplicate_pk_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.insert("author", {"author_id": 1, "name": "Again"})
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.insert("author", {"author_id": 3, "name": "x", "zzz": 1})
+
+    def test_missing_value_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.insert("author", {"author_id": 3})
+
+    def test_type_mismatch_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.insert("author", {"author_id": "three", "name": "x"})
+        with pytest.raises(SchemaError):
+            db.insert("author", {"author_id": 3, "name": 42})
+
+    def test_bool_is_not_an_integer(self, db):
+        with pytest.raises(SchemaError):
+            db.insert("author", {"author_id": True, "name": "x"})
+
+    def test_dangling_fk_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.insert("book", {"book_id": 12, "title": "x", "author_id": 99})
+
+    def test_nullable_column_may_be_absent(self, db):
+        db.insert("book", {"book_id": 13, "title": "x", "author_id": 1})
+        assert db.get("book", (13,)).get("price") is None
+
+
+class TestUpdateDelete:
+    def test_update(self, db):
+        db.update("book", (10,), {"title": "Archiving Scientific Data"})
+        assert db.get("book", (10,))["title"] == "Archiving Scientific Data"
+
+    def test_update_missing_row(self, db):
+        with pytest.raises(SchemaError):
+            db.update("book", (99,), {"title": "x"})
+
+    def test_update_pk_rejected(self, db):
+        """Keys are persistent entity identifiers — never updatable."""
+        with pytest.raises(SchemaError):
+            db.update("book", (10,), {"book_id": 99})
+
+    def test_update_fk_checked(self, db):
+        with pytest.raises(SchemaError):
+            db.update("book", (10,), {"author_id": 99})
+
+    def test_delete(self, db):
+        db.delete("book", (10,))
+        assert db.get("book", (10,)) is None
+
+    def test_delete_referenced_row_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.delete("author", (1,))
+
+    def test_delete_missing_row(self, db):
+        with pytest.raises(SchemaError):
+            db.delete("book", (99,))
+
+
+class TestInspection:
+    def test_rows_and_keys(self, db):
+        assert db.keys("author") == {(1,), (2,)}
+        assert {key for key, __ in db.rows("book")} == {(10,)}
+        assert db.total_rows() == 3
+
+    def test_unknown_table(self, db):
+        with pytest.raises(SchemaError):
+            db.keys("zzz")
+        with pytest.raises(SchemaError):
+            list(db.rows("zzz"))
+
+    def test_referencing_keys(self, db):
+        assert db.referencing_keys("author", (1,)) == [("book", (10,))]
+        assert db.referencing_keys("author", (2,)) == []
+
+    def test_copy_is_independent(self, db):
+        clone = db.copy()
+        clone.insert("author", {"author_id": 3, "name": "New"})
+        assert db.count("author") == 2
+
+    def test_repr(self, db):
+        assert "author=2" in repr(db)
+
+
+class TestEvolutionHelpers:
+    def test_delete_with_referents(self, db):
+        deleted = delete_with_referents(db, "author", (1,))
+        assert ("book", (10,)) in deleted
+        assert ("author", (1,)) in deleted
+        assert deleted.index(("book", (10,))) < deleted.index(("author", (1,)))
+        assert db.get("author", (1,)) is None
+
+    def test_bulk_update(self, db):
+        touched = bulk_update(db, "author", {(1,): {"name": "P."}, (2,): {"name": "S."}})
+        assert touched == 2
+        assert db.get("author", (1,))["name"] == "P."
+
+    def test_diff_keys(self, db):
+        new = next_version(db)
+        new.insert("author", {"author_id": 3, "name": "New"})
+        delete_with_referents(new, "author", (1,))
+        inserted, deleted, persistent = diff_keys(db, new)["author"]
+        assert inserted == {(3,)}
+        assert deleted == {(1,)}
+        assert persistent == {(2,)}
+
+    def test_changed_rows(self, db):
+        new = next_version(db)
+        new.update("author", (2,), {"name": "Sławek"})
+        assert changed_rows(db, new, "author") == {(2,)}
+        assert changed_rows(db, new, "book") == set()

@@ -1,0 +1,148 @@
+"""Property tests for the relational substrate and the direct mapping."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.ground_truth import GroundTruth
+from repro.model.namespaces import RDF_TYPE
+from repro.relational.database import RelationalDatabase
+from repro.relational.direct_mapping import direct_mapping, row_uri
+from repro.relational.schema import Column, ColumnType, ForeignKey, Table, make_schema
+
+_SCHEMA = make_schema(
+    [
+        Table(
+            name="person",
+            columns=(
+                Column("person_id", ColumnType.INTEGER),
+                Column("name", ColumnType.TEXT),
+                Column("nickname", ColumnType.TEXT, nullable=True),
+            ),
+            primary_key=("person_id",),
+        ),
+        Table(
+            name="message",
+            columns=(
+                Column("message_id", ColumnType.INTEGER),
+                Column("author_id", ColumnType.INTEGER),
+                Column("body", ColumnType.TEXT),
+            ),
+            primary_key=("message_id",),
+            foreign_keys=(ForeignKey(("author_id",), "person"),),
+        ),
+    ]
+)
+
+names = st.text(alphabet="abcdef ", min_size=1, max_size=12)
+
+
+@st.composite
+def databases(draw) -> RelationalDatabase:
+    db = RelationalDatabase(_SCHEMA)
+    person_count = draw(st.integers(1, 6))
+    for person_id in range(1, person_count + 1):
+        row = {"person_id": person_id, "name": draw(names)}
+        if draw(st.booleans()):
+            row["nickname"] = draw(names)
+        db.insert("person", row)
+    message_count = draw(st.integers(0, 8))
+    for message_id in range(1, message_count + 1):
+        db.insert(
+            "message",
+            {
+                "message_id": message_id,
+                "author_id": draw(st.integers(1, person_count)),
+                "body": draw(names),
+            },
+        )
+    return db
+
+
+COMMON = dict(max_examples=40, deadline=None)
+
+
+@settings(**COMMON)
+@given(db=databases())
+def test_export_is_well_formed(db):
+    graph, __ = direct_mapping(db, "http://x/")
+    graph.validate()
+
+
+@settings(**COMMON)
+@given(db=databases())
+def test_every_row_has_a_type_triple_and_entity(db):
+    graph, entities = direct_mapping(db, "http://x/")
+    for table in db.schema:
+        class_uri = entities[("table", table.name)]
+        for key, __ in db.rows(table.name):
+            subject = row_uri("http://x/", table, key)
+            assert entities[("row", table.name, key)] == subject
+            assert graph.has_edge(subject, RDF_TYPE, class_uri)
+
+
+@settings(**COMMON)
+@given(db=databases())
+def test_fk_edges_match_database_references(db):
+    graph, entities = direct_mapping(db, "http://x/")
+    reference_predicate = entities[("reference", "message", ("author_id",))]
+    exported = {
+        (s, o)
+        for s, p, o in graph.edges()
+        if p == reference_predicate
+    }
+    expected = set()
+    person = db.schema.table("person")
+    message = db.schema.table("message")
+    for key, row in db.rows("message"):
+        expected.add(
+            (
+                row_uri("http://x/", message, key),
+                row_uri("http://x/", person, (row["author_id"],)),
+            )
+        )
+    assert exported == expected
+
+
+@settings(**COMMON)
+@given(db=databases())
+def test_prefix_isolation(db):
+    """Two exports share no URIs except the rdf vocabulary."""
+    graph1, __ = direct_mapping(db, "http://x/v1/")
+    graph2, __ = direct_mapping(db, "http://x/v2/")
+    uris1 = {graph1.label(node).value for node in graph1.uris()}
+    uris2 = {graph2.label(node).value for node in graph2.uris()}
+    assert uris1 & uris2 <= {RDF_TYPE.value}
+
+
+@settings(**COMMON)
+@given(db=databases())
+def test_ground_truth_is_total_on_shared_rows(db):
+    """Exporting the same instance twice pairs every minted URI."""
+    __, entities1 = direct_mapping(db, "http://x/v1/")
+    __, entities2 = direct_mapping(db, "http://x/v2/")
+    truth = GroundTruth.from_entity_maps(entities1, entities2)
+    assert len(truth) == len(entities1) == len(entities2)
+
+
+@settings(**COMMON)
+@given(db=databases())
+def test_edge_count_formula(db):
+    """Edges = rows (types) + non-null non-key values + non-null FKs."""
+    graph, __ = direct_mapping(db, "http://x/")
+    expected = db.total_rows()  # one type triple per row
+    for table in db.schema:
+        fk_columns = {c for fk in table.foreign_keys for c in fk.columns}
+        for __key, row in db.rows(table.name):
+            for column in table.columns:
+                if column.name in fk_columns or column.name in table.primary_key:
+                    continue
+                if row.get(column.name) is not None:
+                    expected += 1
+            for fk in table.foreign_keys:
+                if all(row.get(c) is not None for c in fk.columns):
+                    expected += 1
+    # Duplicate literal values collapse nodes but never edges (subjects and
+    # predicates differ per row), so the count is exact.
+    assert graph.num_edges == expected

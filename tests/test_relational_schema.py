@@ -1,0 +1,125 @@
+"""Unit tests for relational schemas (repro.relational.schema)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.schema import (
+    Column,
+    ColumnType,
+    ForeignKey,
+    Table,
+    make_schema,
+)
+
+
+def people_table() -> Table:
+    return Table(
+        name="person",
+        columns=(
+            Column("person_id", ColumnType.INTEGER),
+            Column("name", ColumnType.TEXT),
+            Column("mentor_id", ColumnType.INTEGER, nullable=True),
+        ),
+        primary_key=("person_id",),
+        foreign_keys=(ForeignKey(("mentor_id",), "person"),),
+    )
+
+
+class TestTable:
+    def test_valid_table(self):
+        table = people_table()
+        assert table.column("name").type is ColumnType.TEXT
+        assert table.column_names == ("person_id", "name", "mentor_id")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(
+                name="t",
+                columns=(Column("a"), Column("a")),
+                primary_key=("a",),
+            )
+
+    def test_pk_must_exist(self):
+        with pytest.raises(SchemaError):
+            Table(name="t", columns=(Column("a"),), primary_key=("zzz",))
+
+    def test_pk_required(self):
+        with pytest.raises(SchemaError):
+            Table(name="t", columns=(Column("a"),), primary_key=())
+
+    def test_fk_columns_must_exist(self):
+        with pytest.raises(SchemaError):
+            Table(
+                name="t",
+                columns=(Column("a"),),
+                primary_key=("a",),
+                foreign_keys=(ForeignKey(("zzz",), "t"),),
+            )
+
+    def test_fk_needs_columns(self):
+        with pytest.raises(SchemaError):
+            ForeignKey((), "t")
+
+    def test_unknown_column_lookup(self):
+        with pytest.raises(SchemaError):
+            people_table().column("zzz")
+
+    def test_value_columns_exclude_foreign_keys(self):
+        names = [c.name for c in people_table().value_columns()]
+        assert names == ["person_id", "name"]
+
+
+class TestSchema:
+    def test_valid_schema(self):
+        schema = make_schema([people_table()])
+        assert schema.table_names == ("person",)
+        assert schema.table("person").name == "person"
+
+    def test_duplicate_tables_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema([people_table(), people_table()])
+
+    def test_dangling_fk_table_rejected(self):
+        bad = Table(
+            name="t",
+            columns=(Column("a", ColumnType.INTEGER),),
+            primary_key=("a",),
+            foreign_keys=(ForeignKey(("a",), "missing"),),
+        )
+        with pytest.raises(SchemaError):
+            make_schema([bad])
+
+    def test_fk_arity_must_match(self):
+        target = Table(
+            name="pair",
+            columns=(Column("x", ColumnType.INTEGER), Column("y", ColumnType.INTEGER)),
+            primary_key=("x", "y"),
+        )
+        bad = Table(
+            name="t",
+            columns=(Column("a", ColumnType.INTEGER),),
+            primary_key=("a",),
+            foreign_keys=(ForeignKey(("a",), "pair"),),
+        )
+        with pytest.raises(SchemaError):
+            make_schema([target, bad])
+
+    def test_unknown_table_lookup(self):
+        schema = make_schema([people_table()])
+        with pytest.raises(SchemaError):
+            schema.table("zzz")
+
+    def test_gtopdb_schema_is_valid(self):
+        from repro.datasets.gtopdb import gtopdb_schema
+
+        schema = gtopdb_schema()
+        assert set(schema.table_names) == {
+            "family",
+            "target",
+            "ligand",
+            "reference",
+            "interaction",
+            "interaction_reference",
+        }

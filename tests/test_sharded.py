@@ -1,0 +1,91 @@
+"""Tests for BSP-style sharded refinement (repro.core.sharded)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.refinement import bisim_refine_fixpoint
+from repro.core.sharded import shard_of, sharded_refine_fixpoint
+from repro.model import combine
+from repro.partition.coloring import label_partition
+from repro.partition.interner import ColorInterner
+
+from .conftest import random_rdf_graph
+
+
+class TestSharding:
+    def test_shard_assignment_in_range(self):
+        for node in ("a", ("x", 1), 42):
+            assert 0 <= shard_of(node, 7) < 7
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 9])
+    def test_equivalent_to_batch(self, shards):
+        rng = random.Random(shards)
+        graph = random_rdf_graph(rng, num_edges=30)
+        interner_a = ColorInterner()
+        batch = bisim_refine_fixpoint(
+            graph, label_partition(graph, interner_a), None, interner_a
+        )
+        interner_b = ColorInterner()
+        sharded, supersteps = sharded_refine_fixpoint(
+            graph,
+            label_partition(graph, interner_b),
+            None,
+            interner_b,
+            shards=shards,
+        )
+        assert sharded.equivalent_to(batch)
+        assert supersteps >= 1
+
+    def test_superstep_count_matches_batch_rounds(self, figure2_graph):
+        """Sharding does not add rounds — it is the same Jacobi iteration."""
+        interner_a = ColorInterner()
+        __, one_shard_steps = sharded_refine_fixpoint(
+            figure2_graph,
+            label_partition(figure2_graph, interner_a),
+            None,
+            interner_a,
+            shards=1,
+        )
+        interner_b = ColorInterner()
+        __, many_shard_steps = sharded_refine_fixpoint(
+            figure2_graph,
+            label_partition(figure2_graph, interner_b),
+            None,
+            interner_b,
+            shards=8,
+        )
+        assert one_shard_steps == many_shard_steps
+
+    def test_subset_refinement(self, figure3_graphs):
+        union = combine(*figure3_graphs)
+        interner_a = ColorInterner()
+        batch = bisim_refine_fixpoint(
+            union, label_partition(union, interner_a), union.blanks(), interner_a
+        )
+        interner_b = ColorInterner()
+        sharded, __ = sharded_refine_fixpoint(
+            union,
+            label_partition(union, interner_b),
+            union.blanks(),
+            interner_b,
+            shards=3,
+        )
+        assert sharded.equivalent_to(batch)
+
+    def test_max_supersteps(self, figure2_graph):
+        interner = ColorInterner()
+        initial = label_partition(figure2_graph, interner)
+        bounded, steps = sharded_refine_fixpoint(
+            figure2_graph, initial, None, interner, max_supersteps=0
+        )
+        assert steps == 0 and bounded.equivalent_to(initial)
+
+    def test_foreign_interner_reseeded(self, figure2_graph):
+        from repro.partition.coloring import Partition
+
+        part = Partition({node: 999 for node in figure2_graph.nodes()})
+        refined, __ = sharded_refine_fixpoint(figure2_graph, part, None, None)
+        assert refined.num_classes >= 1

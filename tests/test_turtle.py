@@ -1,0 +1,56 @@
+"""Unit tests for the Turtle writer."""
+
+from __future__ import annotations
+
+from repro.io import turtle
+from repro.model import RDFGraph, blank, lit, uri
+from repro.model.namespaces import RDF
+
+
+def sample() -> RDFGraph:
+    g = RDFGraph()
+    g.add(uri("http://ex/a"), RDF["type"], uri("http://ex/Class"))
+    g.add(uri("http://ex/a"), uri("http://ex/p"), lit("x", language="en"))
+    g.add(uri("http://ex/a"), uri("http://ex/q"), blank("b"))
+    g.add(blank("b"), uri("http://ex/p"), lit("5", datatype="http://www.w3.org/2001/XMLSchema#integer"))
+    return g
+
+
+class TestTurtleWriter:
+    def test_prefix_compaction(self):
+        out = turtle.dumps(sample(), {"ex": "http://ex/"})
+        assert "@prefix ex: <http://ex/> ." in out
+        assert "ex:a" in out
+        assert "<http://ex/a>" not in out
+
+    def test_rdf_type_becomes_a(self):
+        out = turtle.dumps(sample(), {"ex": "http://ex/"})
+        assert " a ex:Class" in out.replace("\n", " ")
+
+    def test_language_and_datatype(self):
+        out = turtle.dumps(sample(), {"xsd": "http://www.w3.org/2001/XMLSchema#"})
+        assert '"x"@en' in out
+        assert '"5"^^xsd:integer' in out
+
+    def test_subject_grouping_uses_semicolons(self):
+        out = turtle.dumps(sample(), {"ex": "http://ex/"})
+        subject_lines = [chunk for chunk in out.split("\n\n") if "ex:a " in chunk]
+        assert subject_lines, out
+        assert ";" in subject_lines[0]
+
+    def test_blank_nodes_rendered(self):
+        out = turtle.dumps(sample())
+        assert "_:b" in out
+
+    def test_no_prefixes_is_fine(self):
+        out = turtle.dumps(sample())
+        assert "<http://ex/a>" in out
+
+    def test_empty_graph(self):
+        assert turtle.dumps(RDFGraph()) == ""
+
+    def test_uri_not_compacted_when_local_name_unsafe(self):
+        g = RDFGraph()
+        g.add(uri("http://ex/a b"), uri("http://ex/p"), lit("x"))
+        out = turtle.dumps(g, {"ex": "http://ex/"})
+        assert "<http://ex/a b>" in out

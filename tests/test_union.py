@@ -1,0 +1,89 @@
+"""Unit tests for CombinedGraph (repro.model.union)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import AlignmentError
+from repro.model import RDFGraph, blank, combine, combine_many, lit, uri
+from repro.model.union import SOURCE, TARGET
+
+
+@pytest.fixture
+def versions() -> tuple[RDFGraph, RDFGraph]:
+    g1 = RDFGraph()
+    g1.add(uri("a"), uri("p"), lit("x"))
+    g2 = RDFGraph()
+    g2.add(uri("a"), uri("p"), lit("y"))
+    return g1, g2
+
+
+class TestDisjointness:
+    def test_same_labels_stay_distinct(self, versions):
+        union = combine(*versions)
+        assert union.num_nodes == 6
+        assert union.num_edges == 2
+
+    def test_side_tracking(self, versions):
+        union = combine(*versions)
+        n = union.from_source(uri("a"))
+        m = union.from_target(uri("a"))
+        assert n != m
+        assert union.side(n) == SOURCE
+        assert union.side(m) == TARGET
+        assert union.original(n) == uri("a")
+
+    def test_side_node_sets_partition_nodes(self, versions):
+        union = combine(*versions)
+        assert union.source_nodes | union.target_nodes == set(union.nodes())
+        assert not union.source_nodes & union.target_nodes
+        assert union.side_nodes(SOURCE) == union.source_nodes
+        assert union.side_nodes(TARGET) == union.target_nodes
+
+    def test_labels_preserved(self, versions):
+        union = combine(*versions)
+        assert union.label(union.from_source(lit("x"))) == lit("x")
+
+    def test_source_target_accessors(self, versions):
+        g1, g2 = versions
+        union = combine(g1, g2)
+        assert union.source is g1
+        assert union.target is g2
+
+
+class TestErrors:
+    def test_unknown_node_side(self, versions):
+        union = combine(*versions)
+        with pytest.raises(AlignmentError):
+            union.side("nope")
+
+    def test_from_source_rejects_target_only_node(self, versions):
+        union = combine(*versions)
+        with pytest.raises(AlignmentError):
+            union.from_source(lit("y"))
+
+    def test_bad_side_constant(self, versions):
+        union = combine(*versions)
+        with pytest.raises(AlignmentError):
+            union.side_nodes(3)
+
+
+class TestCombineMany:
+    def test_consecutive_pairs(self):
+        graphs = []
+        for i in range(4):
+            g = RDFGraph()
+            g.add(uri(f"a{i}"), uri("p"), lit(f"x{i}"))
+            graphs.append(g)
+        unions = combine_many(graphs)
+        assert len(unions) == 3
+        assert unions[0].source is graphs[0]
+        assert unions[2].target is graphs[3]
+
+    def test_blanks_both_sides(self):
+        g1 = RDFGraph()
+        g1.add(blank("b"), uri("p"), lit("x"))
+        g2 = RDFGraph()
+        g2.add(blank("b"), uri("p"), lit("x"))
+        union = combine(g1, g2)
+        assert len(union.blanks()) == 2

@@ -1,0 +1,89 @@
+"""Unit tests for weighted partitions (repro.partition.weighted)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.model import RDFGraph, combine, lit, uri
+from repro.partition.coloring import Partition
+from repro.partition.interner import ColorInterner
+from repro.partition.weighted import (
+    WeightedPartition,
+    align_threshold,
+    zero_weighted,
+)
+
+
+def make_weighted() -> WeightedPartition:
+    partition = Partition({"a": 0, "b": 0, "c": 1})
+    return WeightedPartition(partition, {"a": 0.1, "b": 0.3, "c": 0.0})
+
+
+class TestConstruction:
+    def test_weights_must_cover_all_nodes(self):
+        with pytest.raises(PartitionError):
+            WeightedPartition(Partition({"a": 0, "b": 0}), {"a": 0.0})
+
+    def test_weights_must_be_in_unit_interval(self):
+        with pytest.raises(PartitionError):
+            WeightedPartition(Partition({"a": 0}), {"a": 1.5})
+        with pytest.raises(PartitionError):
+            WeightedPartition(Partition({"a": 0}), {"a": -0.1})
+
+    def test_zero_weighted(self):
+        xi = zero_weighted(Partition({"a": 0, "b": 1}))
+        assert xi.weight("a") == 0.0 and xi.weight("b") == 0.0
+
+    def test_accessors(self):
+        xi = make_weighted()
+        assert xi.color("a") == 0
+        assert xi.weight("b") == 0.3
+        assert len(xi) == 3 and set(xi) == {"a", "b", "c"}
+        with pytest.raises(PartitionError):
+            xi.weight("zzz")
+
+
+class TestDistance:
+    def test_same_cluster_combines_weights(self):
+        xi = make_weighted()
+        assert xi.distance("a", "b") == pytest.approx(0.4)
+
+    def test_different_cluster_is_one(self):
+        xi = make_weighted()
+        assert xi.distance("a", "c") == 1.0
+
+    def test_distance_caps_at_one(self):
+        xi = WeightedPartition(Partition({"a": 0, "b": 0}), {"a": 0.8, "b": 0.7})
+        assert xi.distance("a", "b") == 1.0
+
+
+class TestUpdates:
+    def test_with_updates_immutable(self):
+        xi = make_weighted()
+        updated = xi.with_updates({"c": 0}, {"c": 0.5})
+        assert xi.color("c") == 1 and updated.color("c") == 0
+        assert xi.weight("c") == 0.0 and updated.weight("c") == 0.5
+
+    def test_blank_out(self):
+        xi = make_weighted()
+        interner = ColorInterner()
+        blanked = xi.blank_out(["a", "b"], interner)
+        assert blanked.color("a") == blanked.color("b") == interner.blank_color()
+        assert blanked.weight("a") == 0.0
+
+
+class TestAlignThreshold:
+    def test_threshold_filters_pairs(self):
+        g1 = RDFGraph()
+        g1.add(uri("a"), uri("p"), lit("x"))
+        g2 = RDFGraph()
+        g2.add(uri("a"), uri("p"), lit("x"))
+        union = combine(g1, g2)
+        colors = {node: 0 for node in union.nodes()}
+        near = {node: 0.01 for node in union.nodes()}
+        xi = WeightedPartition(Partition(colors), near)
+        assert len(align_threshold(union, xi, theta=0.5)) == 9  # 3x3 pairs
+        far = {node: 0.6 for node in union.nodes()}
+        xi_far = WeightedPartition(Partition(colors), far)
+        assert align_threshold(union, xi_far, theta=0.5) == set()

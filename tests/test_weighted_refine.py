@@ -1,0 +1,120 @@
+"""Tests for weighted refinement and Propagate (repro.similarity.weighted_refine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deblank import deblank_partition
+from repro.core.hybrid import hybrid_partition
+from repro.core.trivial import trivial_partition
+from repro.model import RDFGraph, blank, combine, lit, uri
+from repro.partition.alignment import align
+from repro.partition.coloring import Partition
+from repro.partition.interner import ColorInterner
+from repro.partition.weighted import WeightedPartition, zero_weighted
+from repro.similarity.weighted_refine import propagate, reweight
+
+
+class TestReweight:
+    def test_sink_keeps_weight(self):
+        g = RDFGraph()
+        g.add(uri("a"), uri("p"), lit("x"))
+        weights = {node: 0.5 for node in g.nodes()}
+        assert reweight(g, weights, lit("x")) == 0.5
+
+    def test_average_over_out_pairs(self):
+        g = RDFGraph()
+        g.add(uri("a"), uri("p"), lit("x"))
+        g.add(uri("a"), uri("q"), lit("y"))
+        weights = {
+            uri("a"): 0.0,
+            uri("p"): 0.0,
+            uri("q"): 0.0,
+            lit("x"): 0.2,
+            lit("y"): 0.4,
+        }
+        # ((0⊕0.2) + (0⊕0.4)) / 2 = 0.3
+        assert reweight(g, weights, uri("a")) == pytest.approx(0.3)
+
+    def test_predicate_weight_contributes(self):
+        g = RDFGraph()
+        g.add(uri("a"), uri("p"), lit("x"))
+        weights = {uri("a"): 0.0, uri("p"): 0.3, lit("x"): 0.2}
+        assert reweight(g, weights, uri("a")) == pytest.approx(0.5)
+
+    def test_result_capped_at_one(self):
+        g = RDFGraph()
+        g.add(uri("a"), uri("p"), lit("x"))
+        weights = {uri("a"): 0.0, uri("p"): 0.9, lit("x"): 0.9}
+        assert reweight(g, weights, uri("a")) == 1.0
+
+
+class TestPropagate:
+    def test_propagate_trivial_equals_hybrid(self, figure3_combined):
+        """Paper: Propagate((λTrivial, 0)) = (λHybrid, 0).
+
+        Holds on the paper's own Figure 3 example (the typical case); see
+        DESIGN.md §5.10 for the content-coincidence counterexample where
+        the trivial-base identity fails in general.
+        """
+        graph = figure3_combined
+        interner = ColorInterner()
+        weighted = propagate(
+            graph, zero_weighted(trivial_partition(graph, interner)), interner
+        )
+        hybrid_interner = ColorInterner()
+        hybrid = hybrid_partition(graph, hybrid_interner)
+        assert set(align(graph, weighted.partition).pairs()) == set(
+            align(graph, hybrid).pairs()
+        )
+        assert all(w == 0.0 for w in weighted.weights().values())
+
+    def test_propagate_deblank_equals_hybrid(self, figure3_combined):
+        graph = figure3_combined
+        interner = ColorInterner()
+        weighted = propagate(
+            graph, zero_weighted(deblank_partition(graph, interner)), interner
+        )
+        hybrid_interner = ColorInterner()
+        hybrid = hybrid_partition(graph, hybrid_interner)
+        assert set(align(graph, weighted.partition).pairs()) == set(
+            align(graph, hybrid).pairs()
+        )
+
+    def test_weights_propagate_from_enriched_neighbors(self):
+        """The Figure 8 mechanism: w inherits half the weight of its children."""
+        g1 = RDFGraph()
+        g1.add(uri("w1"), uri("r"), uri("u1"))
+        g2 = RDFGraph()
+        g2.add(uri("w2"), uri("r"), uri("u2"))
+        union = combine(g1, g2)
+        interner = ColorInterner()
+        # Start from the trivial partition (w and u unaligned on both sides)
+        # and manually pretend u1/u2 were enriched with weight 0.3 each.
+        weighted = zero_weighted(trivial_partition(union, interner))
+        shared = interner.component_color(1, 0)
+        weighted = weighted.with_updates(
+            {union.from_source(uri("u1")): shared, union.from_target(uri("u2")): shared},
+            {union.from_source(uri("u1")): 0.3, union.from_target(uri("u2")): 0.3},
+        )
+        result = propagate(union, weighted, interner)
+        # w has one out edge (r, u): weight = (0 ⊕ 0.3) / 1 = 0.3.
+        assert result.weight(union.from_source(uri("w1"))) == pytest.approx(0.3)
+        assert result.partition[union.from_source(uri("w1"))] == result.partition[
+            union.from_target(uri("w2"))
+        ]
+
+    def test_propagate_converges_on_cycles(self):
+        g1 = RDFGraph()
+        g1.add(uri("a1"), uri("p"), uri("b1"))
+        g1.add(uri("b1"), uri("p"), uri("a1"))
+        g2 = RDFGraph()
+        g2.add(uri("a2"), uri("p"), uri("b2"))
+        g2.add(uri("b2"), uri("p"), uri("a2"))
+        union = combine(g1, g2)
+        interner = ColorInterner()
+        weighted = propagate(
+            union, zero_weighted(trivial_partition(union, interner)), interner
+        )
+        for node in union.nodes():
+            assert 0.0 <= weighted.weight(node) <= 1.0
