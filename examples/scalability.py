@@ -6,7 +6,10 @@ roughly-linear trend is visible.  Pass a larger scale to stress it.
 
 Run with::
 
-    python examples/scalability.py [scale]
+    python examples/scalability.py [scale] [engine]
+
+where *engine* is ``reference`` (default) or ``dense`` — the flat-array
+refinement engine documented in docs/performance.md.
 """
 
 import sys
@@ -19,7 +22,7 @@ from repro.partition import ColorInterner
 from repro.similarity import overlap_partition
 
 
-def main(scale: float = 1.0) -> None:
+def main(scale: float = 1.0, engine: str = "reference") -> None:
     generator = DBpediaCategoryGenerator(scale=scale)
     graphs = generator.graphs()
     print(f"{len(graphs)} versions, "
@@ -30,10 +33,16 @@ def main(scale: float = 1.0) -> None:
         union = combine(graphs[index], graphs[index + 1])
         triples = union.num_edges
         interner = ColorInterner()
-        stopwatch.measure("trivial", index, lambda: trivial_partition(union, interner))
+        stopwatch.measure(
+            "trivial",
+            index,
+            lambda: trivial_partition(union, interner, engine=engine),
+        )
         hybrid_interner = ColorInterner()
         hybrid = stopwatch.measure(
-            "hybrid", index, lambda: hybrid_partition(union, hybrid_interner)
+            "hybrid",
+            index,
+            lambda: hybrid_partition(union, hybrid_interner, engine=engine),
         )
         stopwatch.measure(
             "overlap",
@@ -60,4 +69,7 @@ def main(scale: float = 1.0) -> None:
 
 
 if __name__ == "__main__":
-    main(float(sys.argv[1]) if len(sys.argv) > 1 else 1.0)
+    main(
+        float(sys.argv[1]) if len(sys.argv) > 1 else 1.0,
+        sys.argv[2] if len(sys.argv) > 2 else "reference",
+    )

@@ -50,6 +50,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="literal characterizer for the overlap method",
     )
     align_cmd.add_argument(
+        "--engine",
+        choices=("reference", "dense"),
+        default="reference",
+        help="refinement engine (dense = flat-array fast path)",
+    )
+    align_cmd.add_argument(
         "--pairs", action="store_true", help="print every aligned pair (TSV)"
     )
     align_cmd.add_argument("--output", help="write pairs to this file instead of stdout")
@@ -66,6 +72,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--method", choices=METHOD_ORDER, default="hybrid", help="alignment method"
     )
     delta_cmd.add_argument("--limit", type=int, default=20, help="entries per section")
+    delta_cmd.add_argument(
+        "--engine",
+        choices=("reference", "dense"),
+        default="reference",
+        help="refinement engine (dense = flat-array fast path)",
+    )
 
     generate_cmd = commands.add_parser("generate", help="write a synthetic dataset version")
     generate_cmd.add_argument(
@@ -85,6 +97,12 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment_cmd.add_argument("--scale", type=float, default=None)
     experiment_cmd.add_argument("--seed", type=int, default=None)
     experiment_cmd.add_argument("--theta", type=float, default=None)
+    experiment_cmd.add_argument(
+        "--engine",
+        choices=("reference", "dense"),
+        default=None,
+        help="refinement engine for experiments that accept one",
+    )
     experiment_cmd.add_argument("--out", default="results", help="report directory")
     experiment_cmd.add_argument(
         "--no-check", action="store_true", help="skip the shape checks"
@@ -101,6 +119,7 @@ def _command_align(args: argparse.Namespace) -> int:
         method=args.method,
         theta=args.theta,
         splitter=_SPLITTERS[args.splitter],
+        engine=args.engine,
     )
     unaligned_source, unaligned_target = result.unaligned_counts()
     print(
@@ -130,7 +149,7 @@ def _command_delta(args: argparse.Namespace) -> int:
 
     source = ntriples.load_path(args.source)
     target = ntriples.load_path(args.target)
-    result = align_versions(source, target, method=args.method)
+    result = align_versions(source, target, method=args.method, engine=args.engine)
     delta = compute_delta(result.graph, result.partition)
     print(render_delta(result.graph, delta, limit=args.limit))
     return 0
@@ -175,7 +194,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
     from .experiments.runner import run_experiments
 
     parameters = {}
-    for key in ("scale", "seed", "theta"):
+    for key in ("scale", "seed", "theta", "engine"):
         value = getattr(args, key)
         if value is not None:
             parameters[key] = value

@@ -18,10 +18,17 @@ from .context import (
     inbound_index,
 )
 from .deblank import deblank_partition
+from .dense import (
+    REFINEMENT_ENGINES,
+    RefinementEngine,
+    dense_refine_fixpoint,
+    resolve_refine_engine,
+)
 from .hybrid import blanked_partition, hybrid_partition
 from .incremental import incremental_refine_fixpoint
 from .keyed import keyed_hybrid_partition, keyed_refine_fixpoint, predicate_key
 from .refinement import (
+    FixpointStats,
     bisim_refine_fixpoint,
     bisim_refine_step,
     check_interner_covers,
@@ -32,6 +39,9 @@ from .sharded import shard_of, sharded_refine_fixpoint
 from .trivial import trivial_partition
 
 __all__ = [
+    "FixpointStats",
+    "REFINEMENT_ENGINES",
+    "RefinementEngine",
     "are_bisimilar",
     "bidirectional_bisimulation_partition",
     "bidirectional_refine_fixpoint",
@@ -42,6 +52,7 @@ __all__ = [
     "check_interner_covers",
     "context_hybrid_partition",
     "deblank_partition",
+    "dense_refine_fixpoint",
     "hybrid_partition",
     "in_neighborhood",
     "inbound_index",
@@ -53,6 +64,7 @@ __all__ = [
     "predicate_key",
     "recolor_key",
     "refinement_trace",
+    "resolve_refine_engine",
     "shard_of",
     "sharded_refine_fixpoint",
     "trivial_partition",

@@ -11,17 +11,37 @@ the trivial alignment.
 
 from __future__ import annotations
 
+from ..exceptions import ExperimentError
+from ..model.csr import CSRGraph
 from ..model.graph import TripleGraph
 from ..partition.coloring import Partition, label_partition
 from ..partition.interner import ColorInterner
-from .refinement import bisim_refine_fixpoint
+from .dense import resolve_refine_engine
 
 
 def deblank_partition(
-    graph: TripleGraph, interner: ColorInterner | None = None
+    graph: TripleGraph,
+    interner: ColorInterner | None = None,
+    engine: str = "reference",
+    csr: "CSRGraph | None" = None,
 ) -> Partition:
-    """``λ_Deblank``: bisimulation refinement restricted to blank nodes."""
+    """``λ_Deblank``: bisimulation refinement restricted to blank nodes.
+
+    *engine* selects the refinement implementation — ``"reference"`` (the
+    dict-based oracle) or ``"dense"`` (flat arrays, see
+    :mod:`repro.core.dense`); both produce equivalent partitions.  *csr*
+    may hand the dense engine a prebuilt snapshot of *graph* (the hybrid
+    alignment shares one across its two refinement phases).
+    """
     if interner is None:
         interner = ColorInterner()
+    refine = resolve_refine_engine(engine)
+    kwargs = {}
+    if csr is not None:
+        if engine != "dense":
+            raise ExperimentError(
+                "a CSR snapshot only applies to the dense engine"
+            )
+        kwargs["csr"] = csr
     initial = label_partition(graph, interner)
-    return bisim_refine_fixpoint(graph, initial, graph.blanks(), interner)
+    return refine(graph, initial, graph.blanks(), interner, **kwargs)

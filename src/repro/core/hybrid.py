@@ -20,13 +20,14 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from ..model.csr import CSRGraph
 from ..model.graph import NodeId
 from ..model.union import CombinedGraph
 from ..partition.alignment import unaligned_non_literals
 from ..partition.coloring import Partition
 from ..partition.interner import ColorInterner
 from .deblank import deblank_partition
-from .refinement import bisim_refine_fixpoint
+from .dense import resolve_refine_engine
 
 
 def blanked_partition(
@@ -41,17 +42,26 @@ def hybrid_partition(
     graph: CombinedGraph,
     interner: ColorInterner | None = None,
     base: Partition | None = None,
+    engine: str = "reference",
 ) -> Partition:
     """``λ_Hybrid = BisimRefine*_{UN(λ)}(Blank(λ, UN(λ)))`` for ``λ = λ_Deblank``.
 
     *base* may be supplied to start from a different partition (the paper
     points out ``λ_Trivial`` gives the same result); it must share
-    *interner*.
+    *interner*.  *engine* selects the refinement implementation (see
+    :mod:`repro.core.dense`) and is used for both the deblanking base and
+    the hybrid re-refinement, so hash-consed colors stay in one key space.
     """
+    refine = resolve_refine_engine(engine)
     if interner is None:
         interner = ColorInterner()
+    kwargs = {}
+    if engine == "dense":
+        # One CSR snapshot serves both the deblanking base and the hybrid
+        # re-refinement (the graph does not change in between).
+        kwargs["csr"] = CSRGraph(graph)
     if base is None:
-        base = deblank_partition(graph, interner)
+        base = deblank_partition(graph, interner, engine=engine, **kwargs)
     unaligned = unaligned_non_literals(graph, base)
     blanked = blanked_partition(base, unaligned, interner)
-    return bisim_refine_fixpoint(graph, blanked, unaligned, interner)
+    return refine(graph, blanked, unaligned, interner, **kwargs)

@@ -19,12 +19,56 @@ color is stored once as a DAG and color comparison is integer equality.
 
 from __future__ import annotations
 
+import logging
+from dataclasses import dataclass
 from typing import Collection, Iterable
 
 from ..exceptions import PartitionError
 from ..model.graph import NodeId, TripleGraph
 from ..partition.coloring import Partition
 from ..partition.interner import Color, ColorInterner
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class FixpointStats:
+    """Diagnostics of one ``BisimRefine*`` run.
+
+    Pass an instance as the ``stats`` argument of a fixpoint function to
+    receive it filled in; the engines (reference and dense) populate the
+    same fields so runs are comparable.
+
+    ``converged`` is ``False`` exactly when the iteration was cut off by
+    ``max_rounds`` before the partition stabilized — the returned partition
+    is then a sound *intermediate* refinement (finer than the input,
+    coarser than the fixpoint) but not ``BisimRefine*`` itself.
+    """
+
+    #: Refinement rounds actually executed (the final, unproductive round
+    #: that merely confirms the fixpoint counts).
+    rounds: int = 0
+    #: True iff the returned partition is the fixpoint.
+    converged: bool = False
+    #: Class count of the initial partition.
+    initial_classes: int = 0
+    #: Class count of the returned partition.
+    final_classes: int = 0
+    #: Engine that produced the result ("reference" or "dense").
+    engine: str = "reference"
+
+
+def _warn_truncated(stats: FixpointStats, max_rounds: int | None) -> None:
+    """Log the silent-truncation case so callers get a signal by default."""
+    logger.warning(
+        "%s engine stopped after max_rounds=%s before reaching a fixpoint; "
+        "the returned partition is an intermediate refinement "
+        "(%d classes after %d rounds), not BisimRefine*",
+        stats.engine,
+        max_rounds,
+        stats.final_classes,
+        stats.rounds,
+    )
 
 
 def check_interner_covers(partition: Partition, interner: ColorInterner) -> None:
@@ -43,6 +87,21 @@ def check_interner_covers(partition: Partition, interner: ColorInterner) -> None
                 "supplied interner; pass the interner used to build the "
                 "initial partition"
             )
+
+
+def reseed_partition(partition: Partition) -> tuple[Partition, ColorInterner]:
+    """Re-intern a foreign partition's colors into a fresh interner.
+
+    Used by every fixpoint entry point when no interner is supplied: the
+    incoming colors are preserved as classes (``("seed", color)`` keys)
+    but become valid indices of the new interner, so the recolor keys
+    minted during refinement cannot collide with them.
+    """
+    interner = ColorInterner()
+    reseeded = Partition(
+        {node: interner.intern(("seed", color)) for node, color in partition.items()}
+    )
+    return reseeded, interner
 
 
 def recolor_key(
@@ -83,6 +142,7 @@ def bisim_refine_fixpoint(
     subset: Collection[NodeId] | None = None,
     interner: ColorInterner | None = None,
     max_rounds: int | None = None,
+    stats: FixpointStats | None = None,
 ) -> Partition:
     """``BisimRefine*_X(λ)``: iterate until the partition stabilizes.
 
@@ -92,22 +152,29 @@ def bisim_refine_fixpoint(
 
     *max_rounds* bounds the iteration for diagnostics; the natural bound is
     the number of nodes (each productive round adds at least one class).
+    **Truncation is not silent**: when the bound cuts the iteration before
+    stabilization the returned partition is only an intermediate refinement
+    (finer than the input, coarser than the fixpoint), a warning is logged,
+    and ``stats.converged`` (pass a :class:`FixpointStats`) is ``False``.
     """
     if interner is None:
-        # Re-seed foreign colors into a fresh interner (preserves classes,
-        # prevents collisions with the recolor keys minted below).
-        interner = ColorInterner()
-        partition = Partition(
-            {node: interner.intern(("seed", color)) for node, color in partition.items()}
-        )
+        partition, interner = reseed_partition(partition)
     else:
         check_interner_covers(partition, interner)
+    if stats is None:
+        stats = FixpointStats()
+    stats.engine = "reference"
+    stats.initial_classes = partition.num_classes
     nodes = list(subset) if subset is not None else list(graph.nodes())
     current = partition
     current_classes = current.num_classes
     rounds = 0
     while True:
         if max_rounds is not None and rounds >= max_rounds:
+            stats.rounds = rounds
+            stats.converged = False
+            stats.final_classes = current_classes
+            _warn_truncated(stats, max_rounds)
             return current
         refined = bisim_refine_step(graph, current, nodes, interner)
         refined_classes = refined.num_classes
@@ -116,6 +183,9 @@ def bisim_refine_fixpoint(
             # Equivalent partition: the step was a pure recoloring, so the
             # previous iterate already was the fixpoint (Definition 4 returns
             # Λ^n(λ) for the minimal n with Λ^n(λ) ≡ Λ^{n+1}(λ)).
+            stats.rounds = rounds
+            stats.converged = True
+            stats.final_classes = current_classes
             return current
         current = refined
         current_classes = refined_classes
@@ -134,10 +204,7 @@ def refinement_trace(
     round-by-round derivation trees.
     """
     if interner is None:
-        interner = ColorInterner()
-        partition = Partition(
-            {node: interner.intern(("seed", color)) for node, color in partition.items()}
-        )
+        partition, interner = reseed_partition(partition)
     else:
         check_interner_covers(partition, interner)
     nodes = list(subset) if subset is not None else list(graph.nodes())

@@ -12,10 +12,19 @@ from ..model.graph import NodeId, TripleGraph
 from ..model.labels import is_blank
 from ..partition.coloring import Partition
 from ..partition.interner import Color, ColorInterner
+from .dense import resolve_refine_engine
 
 
-def trivial_partition(graph: TripleGraph, interner: ColorInterner) -> Partition:
-    """``λ_Trivial``: label equality on non-blank nodes, identity on blanks."""
+def trivial_partition(
+    graph: TripleGraph, interner: ColorInterner, engine: str = "reference"
+) -> Partition:
+    """``λ_Trivial``: label equality on non-blank nodes, identity on blanks.
+
+    ``λ_Trivial`` involves no refinement, so *engine* changes nothing; it
+    is accepted (and validated) so all four partition builders share one
+    signature.
+    """
+    resolve_refine_engine(engine)  # validate the name, nothing else
     colors: dict[NodeId, Color] = {}
     for node, label in graph.labels().items():
         if is_blank(label):

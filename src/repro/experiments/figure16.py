@@ -27,6 +27,7 @@ def run(
     seed: int = 30,
     versions: int = 6,
     theta: float = 0.65,
+    engine: str = "reference",
 ) -> ExperimentResult:
     generator = DBpediaCategoryGenerator(scale=scale, seed=seed, versions=versions)
     graphs = generator.graphs()
@@ -37,11 +38,15 @@ def run(
         stats = union.stats()
         trivial_interner = ColorInterner()
         stopwatch.measure(
-            "trivial", index + 1, lambda: trivial_partition(union, trivial_interner)
+            "trivial",
+            index + 1,
+            lambda: trivial_partition(union, trivial_interner, engine=engine),
         )
         hybrid_interner = ColorInterner()
         hybrid = stopwatch.measure(
-            "hybrid", index + 1, lambda: hybrid_partition(union, hybrid_interner)
+            "hybrid",
+            index + 1,
+            lambda: hybrid_partition(union, hybrid_interner, engine=engine),
         )
         stopwatch.measure(
             "overlap",
@@ -78,7 +83,13 @@ def run(
     return ExperimentResult(
         figure=FIGURE,
         title=TITLE,
-        parameters={"scale": scale, "seed": seed, "versions": versions, "theta": theta},
+        parameters={
+            "scale": scale,
+            "seed": seed,
+            "versions": versions,
+            "theta": theta,
+            "engine": engine,
+        },
         rows=rows,
         rendered=rendered,
         notes=[
@@ -108,13 +119,13 @@ def check_shape(result: ExperimentResult) -> list[str]:
             f"({median('hybrid_s')} vs {median('overlap_s')})"
         )
     # Proportionality: the largest input should not be markedly faster than
-    # the smallest on the dominant (overlap) cost.  A 30 % tolerance absorbs
-    # millisecond-scale noise at small scales.
+    # the typical pair on the dominant (overlap) cost.  Comparing against
+    # the median (not the single smallest pair) keeps one GC pause or
+    # scheduler spike on one measurement from reading as a shape violation.
     biggest = max(rows, key=lambda row: row["triples"])
-    smallest = min(rows, key=lambda row: row["triples"])
-    if biggest["overlap_s"] < smallest["overlap_s"] * 0.7:
+    if biggest["overlap_s"] < median("overlap_s") * 0.7:
         violations.append(
             "overlap time shrinks as inputs grow "
-            f"({smallest['overlap_s']}s -> {biggest['overlap_s']}s)"
+            f"(median {median('overlap_s')}s -> biggest {biggest['overlap_s']}s)"
         )
     return violations

@@ -1,5 +1,6 @@
 """Data model: labels, triple graphs, RDF graphs and disjoint unions."""
 
+from .csr import CSRGraph, csr_snapshot
 from .graph import Edge, GraphStats, NodeId, OutPair, TripleGraph
 from .labels import (
     BLANK,
@@ -21,6 +22,7 @@ __all__ = [
     "BLANK",
     "BlankLabel",
     "BlankNode",
+    "CSRGraph",
     "CombinedGraph",
     "Edge",
     "GraphStats",
@@ -39,6 +41,7 @@ __all__ = [
     "blank",
     "combine",
     "combine_many",
+    "csr_snapshot",
     "graph_from_triples",
     "is_blank",
     "is_literal",

@@ -1,0 +1,171 @@
+"""Compressed-sparse-row view of a triple graph (dense-engine substrate).
+
+The reference refinement engine walks ``TripleGraph``'s per-node hash sets;
+every recolor step pays Python dict/set overhead per out-pair.  Following
+the flat-array representations of the large-graph bisimulation literature
+(Schätzle et al. [16]; Rau et al., *Computing k-Bisimulations for Large
+Graphs*; the I/O-efficient line of Hellings et al.), :class:`CSRGraph`
+compacts a graph once into integer node ids with contiguous adjacency
+arrays:
+
+* ``nodes[i]`` — the original node identifier of dense id ``i``,
+* ``out_offsets[i] : out_offsets[i+1]`` — the slice of ``out_predicates``
+  / ``out_objects`` holding node ``i``'s outbound ``(p, o)`` pairs, both
+  stored as dense node ids.
+
+The per-round work of the dense engine (:mod:`repro.core.dense`) then
+reduces to array indexing over these buffers — no hashing of node
+identifiers, no per-node set objects.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Collection, Iterable, Mapping, Sequence
+
+from ..exceptions import GraphError, PartitionError
+from .graph import NodeId, TripleGraph
+
+#: Typecode of the adjacency index arrays (signed 64-bit).
+INDEX_TYPECODE = "q"
+
+
+class CSRGraph:
+    """An immutable CSR snapshot of a :class:`~repro.model.graph.TripleGraph`.
+
+    Construction is O(|N| + |E|); the snapshot does not follow later
+    mutations of the source graph.
+    """
+
+    __slots__ = ("nodes", "index", "out_offsets", "out_predicates", "out_objects")
+
+    def __init__(self, graph: TripleGraph) -> None:
+        #: Dense id -> original node identifier (graph iteration order).
+        self.nodes: list[NodeId] = list(graph.nodes())
+        #: Original node identifier -> dense id.
+        self.index: dict[NodeId, int] = {
+            node: i for i, node in enumerate(self.nodes)
+        }
+        index = self.index
+        offsets = array(INDEX_TYPECODE, [0])
+        predicates = array(INDEX_TYPECODE)
+        objects = array(INDEX_TYPECODE)
+        out_map = graph.out_index()
+        empty: set = set()
+        total = 0
+        for node in self.nodes:
+            pairs = out_map.get(node, empty)
+            if pairs:
+                predicates.extend([index[p] for p, _ in pairs])
+                objects.extend([index[o] for _, o in pairs])
+                total += len(pairs)
+            offsets.append(total)
+        #: ``out_offsets[i]:out_offsets[i+1]`` slices the pair arrays.
+        self.out_offsets: array = offsets
+        #: Dense predicate ids of every out-pair, grouped by subject.
+        self.out_predicates: array = predicates
+        #: Dense object ids of every out-pair, grouped by subject.
+        self.out_objects: array = objects
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_pairs(self) -> int:
+        """Total number of stored (subject, predicate, object) pairs."""
+        return len(self.out_predicates)
+
+    def dense_id(self, node: NodeId) -> int:
+        """The dense id of *node* (raises :class:`GraphError` if unknown)."""
+        try:
+            return self.index[node]
+        except KeyError:
+            raise GraphError(f"node {node!r} is not in the CSR snapshot") from None
+
+    def dense_ids(self, nodes: Iterable[NodeId]) -> list[int]:
+        """Dense ids of *nodes*, in iteration order."""
+        index = self.index
+        try:
+            return [index[node] for node in nodes]
+        except KeyError as exc:
+            raise GraphError(
+                f"node {exc.args[0]!r} is not in the CSR snapshot"
+            ) from None
+
+    def out_slice(self, dense: int) -> tuple[int, int]:
+        """The ``[start, end)`` slice of the pair arrays for dense id *dense*."""
+        return self.out_offsets[dense], self.out_offsets[dense + 1]
+
+    def out_degree(self, dense: int) -> int:
+        return self.out_offsets[dense + 1] - self.out_offsets[dense]
+
+    # ------------------------------------------------------------------
+    def gather_colors(
+        self, colors: Mapping[NodeId, int], default: int | None = None
+    ) -> list[int]:
+        """Colors of every node in dense-id order.
+
+        *colors* may be any mapping from original node id to int.  When a
+        node is missing, *default* is used if given, otherwise a
+        :class:`GraphError` is raised.
+        """
+        out: list[int] = []
+        # A plain dict misses with KeyError, a Partition with PartitionError.
+        for node in self.nodes:
+            try:
+                out.append(colors[node])
+            except (LookupError, PartitionError):
+                if default is None:
+                    raise GraphError(
+                        f"coloring does not cover node {node!r}"
+                    ) from None
+                out.append(default)
+        return out
+
+    def subgraph_pairs(
+        self, dense_subset: Sequence[int]
+    ) -> tuple[array, array, array]:
+        """Restrict the pair arrays to the given subjects.
+
+        Returns ``(offsets, predicates, objects)`` where ``offsets`` has
+        ``len(dense_subset) + 1`` entries and ``offsets[k]:offsets[k+1]``
+        slices the pairs of ``dense_subset[k]``.  Used by the dense engine
+        to touch only the refined subset's edges each round.
+        """
+        if len(dense_subset) == self.num_nodes:
+            # A sorted full subset is the identity restriction.
+            return self.out_offsets, self.out_predicates, self.out_objects
+        offsets = array(INDEX_TYPECODE, [0])
+        predicates = array(INDEX_TYPECODE)
+        objects = array(INDEX_TYPECODE)
+        all_offsets = self.out_offsets
+        total = 0
+        for dense in dense_subset:
+            start, end = all_offsets[dense], all_offsets[dense + 1]
+            predicates.extend(self.out_predicates[start:end])
+            objects.extend(self.out_objects[start:end])
+            total += end - start
+            offsets.append(total)
+        return offsets, predicates, objects
+
+    def __repr__(self) -> str:
+        return f"<CSRGraph nodes={self.num_nodes} pairs={self.num_pairs}>"
+
+
+def csr_snapshot(graph: TripleGraph) -> CSRGraph:
+    """Build a :class:`CSRGraph` snapshot of *graph*."""
+    return CSRGraph(graph)
+
+
+def subset_mask(csr: CSRGraph, subset: Collection[NodeId] | None) -> list[int]:
+    """Dense ids of *subset* (all nodes when ``None``), in dense order.
+
+    Dense order makes the engine's per-round iteration cache-friendly and
+    its output independent of the caller's subset iteration order.
+    """
+    if subset is None:
+        return list(range(csr.num_nodes))
+    members = set(csr.dense_ids(subset))
+    return sorted(members)

@@ -159,6 +159,14 @@ class TripleGraph:
         """``|out_G(node)|`` — the number of distinct (predicate, object) pairs."""
         return len(self.out(node))
 
+    def out_index(self) -> Mapping[NodeId, set[OutPair]]:
+        """The whole outbound index at once (treat as read-only).
+
+        Bulk consumers (CSR compaction, inbound-index construction) use
+        this to avoid a per-node :meth:`out` call; sinks may be absent.
+        """
+        return self._out
+
     # ------------------------------------------------------------------
     # Node subsets by kind (paper Section 2.1)
     # ------------------------------------------------------------------

@@ -44,6 +44,18 @@ class Partition(Mapping[NodeId, Color]):
     def __len__(self) -> int:
         return len(self._colors)
 
+    # Concrete views instead of the Mapping-ABC defaults: the ABC versions
+    # route every element through ``__getitem__`` (and its try/except),
+    # which dominates profiles of the refinement hot paths.
+    def keys(self):
+        return self._colors.keys()
+
+    def values(self):
+        return self._colors.values()
+
+    def items(self):
+        return self._colors.items()
+
     # -- structure ---------------------------------------------------------
     def color(self, node: NodeId) -> Color:
         """``λ(node)``."""

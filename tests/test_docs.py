@@ -1,0 +1,85 @@
+"""The documentation must not rot: every path it references must resolve.
+
+README.md and docs/*.md name many module paths (the paper-to-code map is
+essentially a big table of them); this test extracts every repo-relative
+path mentioned in backticks or markdown links and asserts it exists, so a
+refactor that moves a module fails loudly here instead of silently
+orphaning the docs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DOCUMENTS = [
+    REPO_ROOT / "README.md",
+    *sorted((REPO_ROOT / "docs").glob("*.md")),
+]
+
+#: Repo-relative path candidates inside backticks: `src/...py`, `docs/...md` ...
+_CODE_PATH = re.compile(
+    r"`((?:src|tests|benchmarks|docs|examples|results)/[\w./\-{},]+)`"
+)
+
+#: Markdown link targets: [text](target)
+_LINK = re.compile(r"\]\(([^)#\s]+)\)")
+
+
+def _expand_braces(path: str) -> list[str]:
+    """Expand one `{a,b,c}` group (the docs use at most one per path)."""
+    match = re.search(r"\{([^}]*)\}", path)
+    if not match:
+        return [path]
+    return [
+        path[: match.start()] + option + path[match.end():]
+        for option in match.group(1).split(",")
+    ]
+
+
+def referenced_paths(document: pathlib.Path) -> set[str]:
+    text = document.read_text(encoding="utf-8")
+    found: set[str] = set()
+    for raw in _CODE_PATH.findall(text):
+        found.update(_expand_braces(raw))
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        found.add(target)
+    return found
+
+
+def test_documents_exist():
+    assert (REPO_ROOT / "README.md").exists()
+    assert (REPO_ROOT / "docs" / "paper_map.md").exists()
+    assert (REPO_ROOT / "docs" / "performance.md").exists()
+
+
+@pytest.mark.parametrize("document", DOCUMENTS, ids=lambda d: d.name)
+def test_referenced_paths_resolve(document):
+    missing = []
+    for path in sorted(referenced_paths(document)):
+        resolved = (document.parent / path if not (REPO_ROOT / path).exists()
+                    else REPO_ROOT / path)
+        if not resolved.exists():
+            missing.append(path)
+    assert not missing, (
+        f"{document.name} references paths that do not resolve: {missing}"
+    )
+
+
+def test_paper_map_covers_every_figure_experiment():
+    """Each experiments/figure*.py module must appear in the paper map."""
+    text = (REPO_ROOT / "docs" / "paper_map.md").read_text(encoding="utf-8")
+    for module in sorted((REPO_ROOT / "src/repro/experiments").glob("figure*.py")):
+        assert f"src/repro/experiments/{module.name}" in text, module.name
+
+
+def test_readme_mentions_both_engines():
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "`reference`" in text and "`dense`" in text
+    assert "docs/performance.md" in text and "docs/paper_map.md" in text
