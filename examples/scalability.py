@@ -47,7 +47,9 @@ def main(scale: float = 1.0, engine: str = "reference") -> None:
         stopwatch.measure(
             "overlap",
             index,
-            lambda: overlap_partition(union, interner=hybrid_interner, base=hybrid),
+            lambda: overlap_partition(
+                union, interner=hybrid_interner, base=hybrid, engine=engine
+            ),
         )
         overlap_seconds = stopwatch.get("overlap", index)
         rows.append(

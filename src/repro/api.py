@@ -25,6 +25,7 @@ from .core.dense import RefinementEngine, resolve_refine_engine
 from .core.hybrid import hybrid_partition
 from .core.trivial import trivial_partition
 from .exceptions import ExperimentError
+from .model.csr import CSRGraph
 from .model.graph import TripleGraph
 from .model.union import CombinedGraph
 from .partition.alignment import PartitionAlignment
@@ -100,9 +101,13 @@ def align_versions(
     engine:
         Refinement implementation: ``"reference"`` (per-node dicts, the
         oracle) or ``"dense"`` (flat CSR arrays, see
-        :mod:`repro.core.dense`).  Both produce equivalent alignments; the
-        dense engine is markedly faster on refinement-heavy workloads
-        (see ``docs/performance.md``).
+        :mod:`repro.core.dense`).  For ``method="overlap"`` the dense
+        engine additionally runs the whole Algorithm 2 loop — weight
+        iteration, alignment tracking, candidate search — over one CSR
+        snapshot (:mod:`repro.similarity.dense_overlap`).  Both engines
+        produce equivalent alignments; the dense one is markedly faster
+        on refinement- and overlap-heavy workloads (see
+        ``docs/performance.md``).
     """
     resolve_refine_engine(engine)  # fail fast on typos
     graph = CombinedGraph(source, target)
@@ -117,14 +122,19 @@ def align_versions(
         partition = hybrid_partition(graph, interner, engine=engine)
     elif method == "overlap":
         trace = OverlapTrace()
+        # The dense engine reuses one CSR snapshot for the hybrid base and
+        # every round of the overlap loop (the graph never changes).
+        csr = CSRGraph(graph) if engine == "dense" else None
         weighted = overlap_partition(
             graph,
             theta=theta,
             interner=interner,
-            base=hybrid_partition(graph, interner, engine=engine),
+            base=hybrid_partition(graph, interner, engine=engine, csr=csr),
             probe=probe,  # type: ignore[arg-type]
             splitter=splitter,
             trace=trace,
+            engine=engine,
+            csr=csr,
         )
         partition = weighted.partition
     else:

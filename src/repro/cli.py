@@ -53,7 +53,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=("reference", "dense"),
         default="reference",
-        help="refinement engine (dense = flat-array fast path)",
+        help="refinement engine (dense = flat-array fast path; with "
+        "--method overlap it also runs the whole Algorithm 2 loop on "
+        "CSR buffers)",
     )
     align_cmd.add_argument(
         "--pairs", action="store_true", help="print every aligned pair (TSV)"
@@ -101,7 +103,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=("reference", "dense"),
         default=None,
-        help="refinement engine for experiments that accept one",
+        help="refinement engine for experiments that accept one "
+        "(figure13/14/15 overlap runs and the figure16 timings)",
     )
     experiment_cmd.add_argument("--out", default="results", help="report directory")
     experiment_cmd.add_argument(

@@ -22,13 +22,16 @@ from .dense import (
     REFINEMENT_ENGINES,
     RefinementEngine,
     dense_refine_fixpoint,
+    refine_colors,
     resolve_refine_engine,
 )
+from .dense_weights import dense_weight_fixpoint
 from .hybrid import blanked_partition, hybrid_partition
 from .incremental import incremental_refine_fixpoint
 from .keyed import keyed_hybrid_partition, keyed_refine_fixpoint, predicate_key
 from .refinement import (
     FixpointStats,
+    WeightFixpointStats,
     bisim_refine_fixpoint,
     bisim_refine_step,
     check_interner_covers,
@@ -42,6 +45,7 @@ __all__ = [
     "FixpointStats",
     "REFINEMENT_ENGINES",
     "RefinementEngine",
+    "WeightFixpointStats",
     "are_bisimilar",
     "bidirectional_bisimulation_partition",
     "bidirectional_refine_fixpoint",
@@ -53,6 +57,7 @@ __all__ = [
     "context_hybrid_partition",
     "deblank_partition",
     "dense_refine_fixpoint",
+    "dense_weight_fixpoint",
     "hybrid_partition",
     "in_neighborhood",
     "inbound_index",
@@ -63,6 +68,7 @@ __all__ = [
     "partition_to_relation_agrees",
     "predicate_key",
     "recolor_key",
+    "refine_colors",
     "refinement_trace",
     "resolve_refine_engine",
     "shard_of",

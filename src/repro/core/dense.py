@@ -95,12 +95,8 @@ def dense_refine_fixpoint(
     coloring = partition.as_dict()
     colors = csr.gather_colors(coloring)
     subset_ids = subset_mask(csr, subset)
-    sub_offsets, sub_predicates, sub_objects = csr.subgraph_pairs(subset_ids)
-
-    loop = _refine_loop_numpy if _np is not None else _refine_loop_python
-    colors, rounds, converged, classes = loop(
-        colors, subset_ids, sub_offsets, sub_predicates, sub_objects,
-        interner, max_rounds,
+    colors, rounds, converged, classes = refine_colors(
+        csr, colors, subset_ids, interner, max_rounds
     )
 
     stats.rounds = rounds
@@ -114,6 +110,32 @@ def dense_refine_fixpoint(
     # (`coloring` is already a private copy).
     coloring.update(zip(csr.nodes, colors))
     return Partition(coloring)
+
+
+def refine_colors(
+    csr: CSRGraph,
+    colors: list[int],
+    subset_ids: list[int],
+    interner: ColorInterner,
+    max_rounds: int | None = None,
+) -> tuple[list[int], int, bool, int]:
+    """One ``BisimRefine*`` fixpoint directly over a dense color buffer.
+
+    The low-level entry point of the dense engine: no :class:`Partition`
+    objects are materialized, which lets the Algorithm 2 driver
+    (:mod:`repro.similarity.dense_overlap`) run many propagation rounds
+    against one shared *csr* snapshot and one mutable color buffer.
+    *subset_ids* must be dense ids sorted ascending (see
+    :func:`~repro.model.csr.subset_mask`).  Returns
+    ``(colors, rounds, converged, classes)`` with the same fixpoint
+    semantics as :func:`dense_refine_fixpoint`.
+    """
+    sub_offsets, sub_predicates, sub_objects = csr.subgraph_pairs(subset_ids)
+    loop = _refine_loop_numpy if _np is not None else _refine_loop_python
+    return loop(
+        list(colors), subset_ids, sub_offsets, sub_predicates, sub_objects,
+        interner, max_rounds,
+    )
 
 
 def _check_color_budget(interner: ColorInterner) -> None:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from ..exceptions import ExperimentError
 from ..model.csr import CSRGraph
 from ..model.graph import NodeId
 from ..model.union import CombinedGraph
@@ -43,6 +44,7 @@ def hybrid_partition(
     interner: ColorInterner | None = None,
     base: Partition | None = None,
     engine: str = "reference",
+    csr: CSRGraph | None = None,
 ) -> Partition:
     """``λ_Hybrid = BisimRefine*_{UN(λ)}(Blank(λ, UN(λ)))`` for ``λ = λ_Deblank``.
 
@@ -51,15 +53,20 @@ def hybrid_partition(
     *interner*.  *engine* selects the refinement implementation (see
     :mod:`repro.core.dense`) and is used for both the deblanking base and
     the hybrid re-refinement, so hash-consed colors stay in one key space.
+    *csr* may hand the dense engine a prebuilt snapshot of *graph* (the
+    overlap pipeline shares one snapshot across the base and all of its
+    own rounds).
     """
     refine = resolve_refine_engine(engine)
+    if csr is not None and engine != "dense":
+        raise ExperimentError("a CSR snapshot only applies to the dense engine")
     if interner is None:
         interner = ColorInterner()
     kwargs = {}
     if engine == "dense":
         # One CSR snapshot serves both the deblanking base and the hybrid
         # re-refinement (the graph does not change in between).
-        kwargs["csr"] = CSRGraph(graph)
+        kwargs["csr"] = csr if csr is not None else CSRGraph(graph)
     if base is None:
         base = deblank_partition(graph, interner, engine=engine, **kwargs)
     unaligned = unaligned_non_literals(graph, base)

@@ -71,6 +71,44 @@ def _warn_truncated(stats: FixpointStats, max_rounds: int | None) -> None:
     )
 
 
+@dataclass
+class WeightFixpointStats:
+    """Diagnostics of one weighted Jacobi iteration (paper Section 4.5).
+
+    The weight recurrence of ``BisimRefine*`` for weighted partitions is
+    iterated until no weight moves by more than ``ε``; both engines
+    (reference and dense) fill the same fields, mirroring
+    :class:`FixpointStats` for the color fixpoint.  ``converged`` is
+    ``False`` exactly when ``max_rounds`` cut the iteration off while some
+    weight still moved by ``ε`` or more — the returned weights are then an
+    intermediate iterate, not the weight fixpoint.
+    """
+
+    #: Jacobi sweeps actually executed (including the final one whose
+    #: maximum change fell below ε).
+    rounds: int = 0
+    #: True iff the weights stabilized within ``max_rounds``.
+    converged: bool = False
+    #: Maximum absolute weight change of the last executed sweep.
+    final_delta: float = 0.0
+    #: Number of nodes whose weights were iterated.
+    subset_size: int = 0
+    #: Engine that produced the result ("reference" or "dense").
+    engine: str = "reference"
+
+
+def _warn_weight_truncated(stats: WeightFixpointStats, max_rounds: int) -> None:
+    """Signal a weight iteration cut off before stabilization."""
+    logger.warning(
+        "%s engine stopped the weight iteration after max_rounds=%s with the "
+        "largest change still at %.3g (>= epsilon); the returned weights are "
+        "an intermediate iterate, not the weight fixpoint",
+        stats.engine,
+        max_rounds,
+        stats.final_delta,
+    )
+
+
 def check_interner_covers(partition: Partition, interner: ColorInterner) -> None:
     """Guard against mixing partitions and interners.
 

@@ -82,3 +82,138 @@ def sample_fraction(
     if count <= 0:
         return []
     return rng.sample(list(items), min(count, len(items)))
+
+
+# ----------------------------------------------------------------------
+# Whole-graph mutation workloads
+# ----------------------------------------------------------------------
+# A "mutation workload" is a (version 1, version 2) pair exercising all
+# three change drivers at once: blank identifiers reshuffled wholesale, a
+# fraction of URIs renamed, a fraction of literals curation-edited, plus
+# a few dropped and inserted triples.  The engine-parity tests and the
+# overlap benchmarks share these builders so "the largest mutation
+# workload" means the same thing everywhere.
+
+def random_mutation_graph(
+    rng: random.Random,
+    num_uris: int = 10,
+    num_literals: int = 8,
+    num_blanks: int = 8,
+    num_edges: int = 40,
+    vocabulary: Sequence[str] = (),
+    literal_words: int = 3,
+    uri_prefix: str = "n",
+):
+    """A random RDF graph sized for mutation workloads.
+
+    Literals are multi-word names drawn from *vocabulary* (single counter
+    values when it is empty), so the overlap literal round has word sets
+    to work with.
+    """
+    from ..model import RDFGraph, blank, lit, uri
+
+    graph = RDFGraph()
+    uris = [uri(f"{uri_prefix}{i}") for i in range(num_uris)]
+    if vocabulary:
+        literals = [
+            lit(f"{make_name(rng, vocabulary, literal_words)} {i}")
+            for i in range(num_literals)
+        ]
+    else:
+        literals = [lit(f"value {i}") for i in range(num_literals)]
+    blanks = [blank(f"{uri_prefix}b{i}") for i in range(num_blanks)]
+    for term in uris + literals + blanks:
+        graph.term(term)
+    subjects = uris + blanks
+    objects = uris + blanks + literals
+    for _ in range(num_edges):
+        graph.add(rng.choice(subjects), rng.choice(uris), rng.choice(objects))
+    return graph
+
+
+def mutated_version(
+    rng: random.Random,
+    graph,
+    vocabulary: Sequence[str],
+    literal_fraction: float = 0.4,
+    rename_fraction: float = 0.25,
+    drop_fraction: float = 0.08,
+    new_facts: int = 2,
+):
+    """A curated second version: literal edits, URI renames, blank reshuffle.
+
+    Mirrors the paper's three change drivers (Section 1): blank-node
+    identifiers are reshuffled wholesale, *rename_fraction* of the URIs is
+    renamed, *literal_fraction* of the literals receives a curation-style
+    edit, *drop_fraction* of the triples is dropped and *new_facts* fresh
+    triples referencing existing terms are inserted.
+    """
+    from ..model import BlankNode, RDFGraph, blank, lit, uri
+
+    literal_nodes = sorted(
+        (n for n in graph.nodes() if graph.is_literal_node(n)), key=repr
+    )
+    uri_nodes = sorted((n for n in graph.nodes() if graph.is_uri_node(n)), key=repr)
+    edits: dict = {}
+    for node in sample_fraction(rng, literal_nodes, literal_fraction):
+        edits[node] = lit(curation_edit(rng, node.value, vocabulary))
+    for node in sample_fraction(rng, uri_nodes, rename_fraction):
+        edits[node] = uri(node.value + "-v2")
+
+    def carry(term):
+        if isinstance(term, BlankNode):
+            # Reshuffled blank identifiers: same structure, fresh names.
+            return blank("v2-" + term.name)
+        return edits.get(term, term)
+
+    edges = sorted(graph.edges(), key=repr)
+    dropped = set(sample_fraction(rng, range(len(edges)), drop_fraction))
+    version = RDFGraph()
+    for position, (subject, predicate, obj) in enumerate(edges):
+        if position in dropped:
+            continue
+        version.add(carry(subject), carry(predicate), carry(obj))
+    # A few brand-new facts referencing existing terms.
+    subjects = [n for n in version.nodes() if not version.is_literal_node(n)]
+    predicates = [n for n in version.nodes() if version.is_uri_node(n)]
+    for index in range(new_facts):
+        if subjects and predicates:
+            version.add(
+                rng.choice(subjects),
+                rng.choice(predicates),
+                lit(f"new fact {index}"),
+            )
+    return version
+
+
+#: Default word pool for mutation workloads: generic filler words plus the
+#: domain terms the curation edits draw from (multi-word literals give the
+#: overlap literal round realistic word sets).
+MUTATION_VOCABULARY: tuple[str, ...] = tuple(f"word{i}" for i in range(60)) + (
+    "graph", "node", "edge", "version", "aligned", "blank", "color",
+    "weight", "overlap", "dense",
+)
+
+
+def mutation_workload(
+    seed: int,
+    scale: int = 1,
+    vocabulary: Sequence[str] = MUTATION_VOCABULARY,
+):
+    """A ``(version 1, version 2)`` mutation pair at the given *scale*.
+
+    The single source of truth for "mutation workload at scale N": the
+    engine-parity tests and the overlap benchmarks both call this, so the
+    workload the speedup gate measures is literally the workload the
+    parity assertions exercise.
+    """
+    rng = random.Random(seed)
+    source = random_mutation_graph(
+        rng,
+        num_uris=12 * scale,
+        num_literals=10 * scale,
+        num_blanks=8 * scale,
+        num_edges=50 * scale,
+        vocabulary=vocabulary,
+    )
+    return source, mutated_version(rng, source, vocabulary)

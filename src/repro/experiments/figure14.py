@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from ..core.hybrid import hybrid_partition
 from ..datasets.gtopdb import GtoPdbGenerator
+from ..model.csr import CSRGraph
 from ..evaluation.precision import precision_counts
 from ..evaluation.reporting import render_stacked_fractions
 from ..partition.interner import ColorInterner
@@ -29,15 +30,18 @@ def run(
     seed: int = 2016,
     versions: int = 10,
     theta: float = 0.65,
+    engine: str = "reference",
 ) -> ExperimentResult:
     generator = GtoPdbGenerator(scale=scale, seed=seed, versions=versions)
     rows = []
     for index in range(versions - 1):
         union, truth = generator.combined(index, index + 1)
         interner = ColorInterner()
-        hybrid = hybrid_partition(union, interner)
+        csr = CSRGraph(union) if engine == "dense" else None
+        hybrid = hybrid_partition(union, interner, engine=engine, csr=csr)
         overlap = overlap_partition(
-            union, theta=theta, interner=interner, base=hybrid
+            union, theta=theta, interner=interner, base=hybrid,
+            engine=engine, csr=csr,
         )
         hybrid_counts = precision_counts(union, hybrid, truth)
         overlap_counts = precision_counts(union, overlap.partition, truth)
@@ -60,7 +64,10 @@ def run(
     return ExperimentResult(
         figure=FIGURE,
         title=TITLE,
-        parameters={"scale": scale, "seed": seed, "versions": versions, "theta": theta},
+        parameters={
+            "scale": scale, "seed": seed, "versions": versions,
+            "theta": theta, "engine": engine,
+        },
         rows=rows,
         rendered=rendered,
         notes=[

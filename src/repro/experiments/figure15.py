@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from ..core.hybrid import hybrid_partition
 from ..datasets.gtopdb import GtoPdbGenerator
+from ..model.csr import CSRGraph
 from ..evaluation.precision import precision_counts
 from ..evaluation.reporting import render_stacked_fractions
 from ..partition.interner import ColorInterner
@@ -30,15 +31,18 @@ def run(
     thetas: tuple[float, ...] = DEFAULT_THETAS,
     source_version: int = 3,
     probe: str = "safe",
+    engine: str = "reference",
 ) -> ExperimentResult:
     generator = GtoPdbGenerator(scale=scale, seed=seed, versions=versions)
     union, truth = generator.combined(source_version - 1, source_version)
     interner = ColorInterner()
-    hybrid = hybrid_partition(union, interner)
+    csr = CSRGraph(union) if engine == "dense" else None
+    hybrid = hybrid_partition(union, interner, engine=engine, csr=csr)
     rows = []
     for theta in thetas:
         overlap = overlap_partition(
-            union, theta=theta, interner=interner, base=hybrid, probe=probe  # type: ignore[arg-type]
+            union, theta=theta, interner=interner, base=hybrid, probe=probe,  # type: ignore[arg-type]
+            engine=engine, csr=csr,
         )
         counts = precision_counts(union, overlap.partition, truth)
         rows.append({"theta": theta, **counts.as_dict()})
@@ -60,6 +64,7 @@ def run(
             "thetas": list(thetas),
             "source_version": source_version,
             "probe": probe,
+            "engine": engine,
         },
         rows=rows,
         rendered=rendered,

@@ -43,7 +43,7 @@ class PartitionAlignment:
     iteration.
     """
 
-    __slots__ = ("_graph", "_partition", "_sides")
+    __slots__ = ("_graph", "_partition", "_sides", "_unaligned_source", "_unaligned_target")
 
     def __init__(self, graph: CombinedGraph, partition: Partition) -> None:
         self._graph = graph
@@ -54,6 +54,8 @@ class PartitionAlignment:
             target = frozenset(n for n in members if n in graph.target_nodes)
             sides[color] = ClassSides(source=source, target=target)
         self._sides = sides
+        self._unaligned_source: frozenset[NodeId] | None = None
+        self._unaligned_target: frozenset[NodeId] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -107,23 +109,30 @@ class PartitionAlignment:
         return sum(1 for s in self._sides.values() if s.is_matched)
 
     # -- unaligned nodes ----------------------------------------------------
-    def unaligned_source(self) -> set[NodeId]:
+    # The partition is immutable after __init__, so the side scans are
+    # computed once and cached; frozensets keep repeat callers from
+    # mutating the cache.
+    def unaligned_source(self) -> frozenset[NodeId]:
         """``Unaligned_1(λ)``: source nodes with no target partner."""
-        out: set[NodeId] = set()
-        for sides in self._sides.values():
-            if not sides.target:
-                out.update(sides.source)
-        return out
+        if self._unaligned_source is None:
+            out: set[NodeId] = set()
+            for sides in self._sides.values():
+                if not sides.target:
+                    out.update(sides.source)
+            self._unaligned_source = frozenset(out)
+        return self._unaligned_source
 
-    def unaligned_target(self) -> set[NodeId]:
+    def unaligned_target(self) -> frozenset[NodeId]:
         """``Unaligned_2(λ)``: target nodes with no source partner."""
-        out: set[NodeId] = set()
-        for sides in self._sides.values():
-            if not sides.source:
-                out.update(sides.target)
-        return out
+        if self._unaligned_target is None:
+            out: set[NodeId] = set()
+            for sides in self._sides.values():
+                if not sides.source:
+                    out.update(sides.target)
+            self._unaligned_target = frozenset(out)
+        return self._unaligned_target
 
-    def unaligned(self) -> set[NodeId]:
+    def unaligned(self) -> frozenset[NodeId]:
         """``Unaligned(λ) = Unaligned_1(λ) ∪ Unaligned_2(λ)``."""
         return self.unaligned_source() | self.unaligned_target()
 

@@ -30,6 +30,7 @@ from .overlap_alignment import (
     out_color_characterizer,
     overlap_partition,
 )
+from .dense_overlap import AlignmentTracker, dense_overlap_partition
 from .predicate_alignment import (
     mediation_index,
     predicate_aware_overlap,
@@ -52,8 +53,10 @@ from .weighted_refine import (
 )
 
 __all__ = [
+    "AlignmentTracker",
     "DEFAULT_EPSILON",
     "EditDistance",
+    "dense_overlap_partition",
     "mediation_index",
     "predicate_aware_overlap",
     "predicate_profile",

@@ -61,6 +61,45 @@ def probe_budget(size: int, theta: float, rule: ProbeRule) -> int:
     raise ValueError(f"unknown probe rule {rule!r}")
 
 
+#: Types whose ``<`` is a total order (and whose flat tuples therefore
+#: sort totally too).  Anything else — notably frozensets, where ``<`` is
+#: subset inclusion and ``sorted`` silently yields an arbitrary order —
+#: falls back to the ``repr`` tie-break.
+_TOTALLY_ORDERED = (int, float, str, bytes)
+
+
+def _frequency_ranks(
+    objects: set, frequency: dict[Hashable, int]
+) -> dict[Hashable, int]:
+    """Position of every object in the ascending-frequency probe order.
+
+    Ties among equal-frequency objects are broken by the objects' natural
+    order when that order is total (literal words, packed out-color
+    codes, color-pair tuples), falling back to ``repr`` otherwise.
+    Either way the key is computed once per *distinct* object per call —
+    the former ``(frequency, repr(obj))`` sort key re-stringified every
+    object once per source node, which dominated the candidate-search
+    profile.
+    """
+    naturally_ordered = all(
+        isinstance(obj, _TOTALLY_ORDERED)
+        or (
+            isinstance(obj, tuple)
+            and all(isinstance(item, _TOTALLY_ORDERED) for item in obj)
+        )
+        for obj in objects
+    )
+    if naturally_ordered:
+        try:
+            ordered = sorted(objects)
+        except TypeError:  # mixed types, e.g. ints next to strings
+            ordered = sorted(objects, key=repr)
+    else:
+        ordered = sorted(objects, key=repr)
+    ordered.sort(key=lambda obj: frequency.get(obj, 0))  # stable: keeps ties
+    return {obj: position for position, obj in enumerate(ordered)}
+
+
 def overlap_match(
     source_nodes: Collection[NodeId],
     target_nodes: Collection[NodeId],
@@ -72,7 +111,9 @@ def overlap_match(
     """``OverlapMatch(A, B, θ, char, σ)`` — Algorithm 1.
 
     Returns the weighted bipartite graph of pairs with characterizing-set
-    overlap ≥ θ *and* distance < θ, weighted by that distance.
+    overlap ≥ θ *and* distance < θ, weighted by that distance.  Both sides
+    are characterized exactly once per call, so an expensive *characterize*
+    is never re-entered for the same node.
     """
     if not 0.0 < theta <= 1.0:
         raise ValueError(f"threshold must be in (0, 1], got {theta}")
@@ -87,13 +128,22 @@ def overlap_match(
             inverted.setdefault(obj, []).append(node)
     frequency: dict[Hashable, int] = {obj: len(nodes) for obj, nodes in inverted.items()}
 
+    # Characterize the source side once, then rank every distinct source
+    # object so the per-node probe order is a cheap integer sort.
+    source_characterizations: dict[NodeId, frozenset[Hashable]] = {
+        node: characterize(node) for node in source_nodes
+    }
+    distinct: set[Hashable] = set()
+    for objects in source_characterizations.values():
+        distinct.update(objects)
+    rank = _frequency_ranks(distinct, frequency)
+
     # Lines 7–19: probe, filter by overlap, verify by distance.
     matches: dict[tuple[NodeId, NodeId], float] = {}
-    for source in source_nodes:
-        objects = characterize(source)
+    for source, objects in source_characterizations.items():
         if not objects:
             continue
-        ordered = sorted(objects, key=lambda obj: (frequency.get(obj, 0), repr(obj)))
+        ordered = sorted(objects, key=rank.__getitem__)
         budget = probe_budget(len(ordered), theta, probe)
         candidates: set[NodeId] = set()
         rejected: set[NodeId] = set()

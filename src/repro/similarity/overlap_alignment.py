@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Hashable
 
+from ..core.refinement import WeightFixpointStats
+from ..exceptions import ExperimentError
 from ..model.graph import NodeId
 from ..model.labels import Literal
 from ..model.union import CombinedGraph
@@ -103,11 +105,20 @@ def non_literal_distance(
     ``(σ_ξ(p1, p2) ⊕ σ_ξ(o1, o2)) / f`` — which, the colors being equal,
     is ``(w1 ⊕ w2) / f`` — and the ``R`` uncoupled edges contribute
     ``R / f``, with ``f`` the larger outbound size.
+
+    The per-node weight groups are memoized on the returned closure: a
+    node appearing in many candidate pairs of one ``OverlapMatch`` round
+    walks its out-edges once (build a fresh closure per round — the cache
+    is only valid for one weighted partition).
     """
     partition = weighted.partition
+    cache: dict[NodeId, dict[tuple[Color, Color], list[float]]] = {}
 
     def grouped_weights(node: NodeId) -> dict[tuple[Color, Color], list[float]]:
-        groups: dict[tuple[Color, Color], list[float]] = {}
+        groups = cache.get(node)
+        if groups is not None:
+            return groups
+        groups = {}
         for predicate, obj in graph.out(node):
             key = (partition[predicate], partition[obj])
             groups.setdefault(key, []).append(
@@ -115,6 +126,7 @@ def non_literal_distance(
             )
         for weights in groups.values():
             weights.sort()
+        cache[node] = groups
         return groups
 
     def distance(source: NodeId, target: NodeId) -> float:
@@ -140,15 +152,29 @@ def non_literal_distance(
 
 @dataclass
 class OverlapTrace:
-    """Diagnostics of one Algorithm 2 run (round sizes, stop reason)."""
+    """Diagnostics of one Algorithm 2 run (round sizes, stop reason).
+
+    ``weight_stats`` holds one
+    :class:`~repro.core.refinement.WeightFixpointStats` per generation —
+    the Jacobi weight iteration of that generation's ``Propagate`` —
+    filled by whichever engine ran the alignment, so a
+    ``max_rounds``-truncated weight iteration is visible here instead of
+    silently returning drifting weights.
+    """
 
     literal_matches: int = 0
     rounds: list[int] = field(default_factory=list)
     stopped_by_round_limit: bool = False
+    weight_stats: list[WeightFixpointStats] = field(default_factory=list)
 
     @property
     def total_rounds(self) -> int:
         return len(self.rounds)
+
+    @property
+    def weight_truncations(self) -> int:
+        """Generations whose weight iteration hit its round limit."""
+        return sum(1 for stats in self.weight_stats if not stats.converged)
 
 
 def overlap_partition(
@@ -162,16 +188,45 @@ def overlap_partition(
     operator: OplusOperator = oplus,
     trace: OverlapTrace | None = None,
     splitter: LiteralSplitter = split_words,
+    engine: str = "reference",
+    csr=None,
 ) -> WeightedPartition:
     """``Overlap(G, θ)`` — Algorithm 2.
 
-    *base* may supply a precomputed hybrid partition (sharing *interner*).
+    *base* may supply a precomputed hybrid partition (sharing *interner*,
+    and built with the same *engine* so colors live in one key space).
     *trace*, when given, is filled with per-round diagnostics.
     *splitter* chooses the literal characterizer (see
-    :func:`literal_characterizer`).
+    :func:`literal_characterizer`).  *engine* selects the loop
+    implementation: ``"reference"`` (this function's dict-based loop) or
+    ``"dense"`` (flat CSR buffers, see
+    :mod:`repro.similarity.dense_overlap`); *csr* may hand the dense
+    engine a prebuilt snapshot of *graph*.
     """
+    from ..core.dense import resolve_refine_engine
     from ..core.hybrid import hybrid_partition  # late import to avoid a cycle
 
+    resolve_refine_engine(engine)  # fail fast on typos
+    if engine == "dense":
+        from .dense_overlap import dense_overlap_partition
+
+        return dense_overlap_partition(
+            graph,
+            theta=theta,
+            interner=interner,
+            base=base,
+            probe=probe,
+            epsilon=epsilon,
+            max_rounds=max_rounds,
+            operator=operator,
+            trace=trace,
+            splitter=splitter,
+            csr=csr,
+        )
+    if csr is not None:
+        raise ExperimentError(
+            "a CSR snapshot only applies to the dense engine"
+        )
     if interner is None:
         interner = ColorInterner()
     if base is None:
@@ -199,13 +254,17 @@ def overlap_partition(
 
     # Lines 5–12: enrich, propagate, rediscover on non-literals.
     for generation in range(1, max_rounds + 1):
+        weight_stats = WeightFixpointStats()
         weighted = propagate(
             graph,
             enrich(weighted, close_pairs, interner, generation),
             interner,
             epsilon=epsilon,
             operator=operator,
+            stats=weight_stats,
         )
+        if trace is not None:
+            trace.weight_stats.append(weight_stats)
         alignment = PartitionAlignment(graph, weighted.partition)
         unaligned_source = {
             n for n in alignment.unaligned_source() if not graph.is_literal_node(n)

@@ -18,12 +18,20 @@ the weights from 0.  Weights of blanked nodes start at 0 and the recurrence
 is monotone in every argument, so phase 2 converges from below to the least
 fixpoint; this matches the paper's observation that weights "will all be 0,
 and will only increase during the refinement process".
+
+Diagnostics: pass a :class:`~repro.core.refinement.WeightFixpointStats`
+to receive sweep counts and the final delta; a ``max_rounds`` truncation
+before stabilization is logged as a warning instead of silently returning
+a non-fixpoint iterate (same contract as the color fixpoint's
+``FixpointStats``).  Algorithm 2 surfaces these per-generation stats via
+``OverlapTrace.weight_stats``.
 """
 
 from __future__ import annotations
 
 from typing import Collection
 
+from ..core.refinement import WeightFixpointStats, _warn_weight_truncated
 from ..model.graph import NodeId, TripleGraph
 from ..model.union import CombinedGraph
 from ..partition.alignment import unaligned_non_literals
@@ -61,18 +69,35 @@ def weighted_refine_fixpoint(
     epsilon: float = DEFAULT_EPSILON,
     max_rounds: int = 10_000,
     operator: OplusOperator = oplus,
+    stats: WeightFixpointStats | None = None,
 ) -> WeightedPartition:
     """``BisimRefine*_X(ξ)`` for weighted partitions.
 
     Colors follow the standard batch refinement; weights of subset nodes
-    are Jacobi-iterated to stabilization.
+    are Jacobi-iterated to stabilization.  An empty *subset* skips the
+    iteration entirely.  When *max_rounds* cuts the sweeps off while some
+    weight still moves by ``ε`` or more, a warning is logged and
+    ``stats.converged`` (pass a :class:`WeightFixpointStats`) is
+    ``False``.
     """
     from ..core.refinement import bisim_refine_fixpoint
 
+    if stats is None:
+        stats = WeightFixpointStats()
+    stats.engine = "reference"
     subset_nodes = list(subset)
+    stats.subset_size = len(subset_nodes)
     partition = bisim_refine_fixpoint(graph, weighted.partition, subset_nodes, interner)
     weights = dict(weighted.weights())
-    for _ in range(max_rounds):
+    if not subset_nodes:
+        stats.rounds = 0
+        stats.converged = True
+        stats.final_delta = 0.0
+        return WeightedPartition(partition, weights)
+    rounds = 0
+    delta = 0.0
+    converged = False
+    while rounds < max_rounds:
         delta = 0.0
         updates: dict[NodeId, float] = {}
         for node in subset_nodes:
@@ -82,8 +107,15 @@ def weighted_refine_fixpoint(
             if change > delta:
                 delta = change
         weights.update(updates)
+        rounds += 1
         if delta < epsilon:
+            converged = True
             break
+    stats.rounds = rounds
+    stats.final_delta = delta
+    stats.converged = converged
+    if not converged:
+        _warn_weight_truncated(stats, max_rounds)
     return WeightedPartition(partition, weights)
 
 
@@ -94,6 +126,7 @@ def propagate(
     epsilon: float = DEFAULT_EPSILON,
     max_rounds: int = 10_000,
     operator: OplusOperator = oplus,
+    stats: WeightFixpointStats | None = None,
 ) -> WeightedPartition:
     """``Propagate(ξ) = BisimRefine*_{UN(ξ)}(Blank(ξ, UN(ξ)))``.
 
@@ -111,4 +144,5 @@ def propagate(
         epsilon=epsilon,
         max_rounds=max_rounds,
         operator=operator,
+        stats=stats,
     )

@@ -21,9 +21,9 @@ from repro.core.deblank import deblank_partition
 from repro.core.dense import dense_refine_fixpoint, resolve_refine_engine
 from repro.core.hybrid import hybrid_partition
 from repro.core.refinement import FixpointStats, bisim_refine_fixpoint
-from repro.datasets.mutations import curation_edit, sample_fraction
+from repro.datasets.mutations import mutated_version, random_mutation_graph
 from repro.exceptions import ExperimentError
-from repro.model import BlankNode, Literal, RDFGraph, URI, blank, combine, lit, uri
+from repro.model import RDFGraph, combine
 from repro.partition.coloring import label_partition
 from repro.partition.interner import ColorInterner
 
@@ -32,56 +32,13 @@ from .conftest import random_rdf_graph
 VOCABULARY = ("graph", "node", "edge", "version", "aligned", "blank", "color")
 
 
-def mutated_version(rng: random.Random, graph: RDFGraph) -> RDFGraph:
-    """A curated second version: literal edits, URI renames, blank reshuffle.
-
-    This mirrors the paper's three change drivers (Section 1): blank-node
-    identifiers are reshuffled wholesale, a fraction of URIs is renamed and
-    a fraction of literals receives a curation-style edit, plus a few
-    dropped and duplicated triples.
-    """
-    literal_nodes = sorted(
-        (n for n in graph.nodes() if graph.is_literal_node(n)), key=repr
-    )
-    uri_nodes = sorted((n for n in graph.nodes() if graph.is_uri_node(n)), key=repr)
-    edits: dict = {}
-    for node in sample_fraction(rng, literal_nodes, 0.4):
-        edits[node] = lit(curation_edit(rng, node.value, VOCABULARY))
-    for node in sample_fraction(rng, uri_nodes, 0.25):
-        edits[node] = uri(node.value + "-v2")
-
-    def carry(term):
-        if isinstance(term, BlankNode):
-            # Reshuffled blank identifiers: same structure, fresh names.
-            return blank("v2-" + term.name)
-        return edits.get(term, term)
-
-    edges = sorted(graph.edges(), key=repr)
-    dropped = set(sample_fraction(rng, range(len(edges)), 0.08))
-    version = RDFGraph()
-    for position, (subject, predicate, obj) in enumerate(edges):
-        if position in dropped:
-            continue
-        version.add(carry(subject), carry(predicate), carry(obj))
-    # A couple of brand-new facts referencing existing terms.
-    subjects = [n for n in version.nodes() if not version.is_literal_node(n)]
-    predicates = [n for n in version.nodes() if version.is_uri_node(n)]
-    for index in range(2):
-        if subjects and predicates:
-            version.add(
-                rng.choice(subjects),
-                rng.choice(predicates),
-                lit(f"new fact {index}"),
-            )
-    return version
-
-
 def workload(seed: int) -> tuple[RDFGraph, RDFGraph]:
+    """A random mutation workload (shared builders, see datasets.mutations)."""
     rng = random.Random(seed)
-    source = random_rdf_graph(
+    source = random_mutation_graph(
         rng, num_uris=10, num_literals=8, num_blanks=8, num_edges=40
     )
-    return source, mutated_version(rng, source)
+    return source, mutated_version(rng, source, VOCABULARY)
 
 
 class TestAlignmentParity:

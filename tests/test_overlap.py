@@ -137,6 +137,20 @@ class TestOverlapMatch:
         # (rare1, rare2 — frequency 0), both missing from the index.
         assert ("a", "b_common1") not in paper.edges
 
+    def test_partial_order_objects_take_repr_tiebreak(self):
+        """Frozenset objects (where ``<`` is subset inclusion, not a total
+        order) must not crash or silently depend on set iteration order —
+        they take the repr tie-break path of the probe sort."""
+        words = {
+            "a": {frozenset({1}), frozenset({2})},
+            "b1": {frozenset({1})},
+        }
+        result = overlap_match(
+            ["a"], ["b1"], 0.5, word_characterizer(words),
+            lambda n, m: 0.0, probe="safe",
+        )
+        assert ("a", "b1") in result.edges
+
     def test_candidates_verified_once(self):
         """A target reachable through several objects is tested once."""
         calls = []
