@@ -9,17 +9,61 @@ asserts the paper's qualitative shape and saves the rendered report under
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
+BENCH_JSON = RESULTS_DIR / "bench.json"
+
 
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+def record_bench(name: str, seconds: float, speedup: float | None = None) -> None:
+    """Append one machine-readable measurement to ``results/bench.json``.
+
+    The file is the seed of the performance trajectory (one entry per
+    benchmark per run): ``[{"name", "seconds", "speedup"}, ...]``.
+    ``speedup`` is the measured ratio for comparison benches and ``null``
+    for plain timings.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    entries: list[dict] = []
+    if BENCH_JSON.exists():
+        try:
+            entries = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except ValueError:
+            entries = []
+    entries.append(
+        {
+            "name": name,
+            "seconds": round(float(seconds), 6),
+            "speedup": None if speedup is None else round(float(speedup), 3),
+        }
+    )
+    BENCH_JSON.write_text(
+        json.dumps(entries, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _record_benchmark_timing(request):
+    """Record every ``benchmark``-fixture timing into ``bench.json``."""
+    yield
+    benchmark = getattr(request.node, "funcargs", {}).get("benchmark")
+    stats = getattr(benchmark, "stats", None)
+    if stats is None:
+        return
+    try:
+        record_bench(request.node.name, stats.stats.mean)
+    except (AttributeError, OSError):  # no timing ran, or results/ unwritable
+        pass
 
 
 def run_once(benchmark, function, *args, **kwargs):

@@ -99,6 +99,8 @@ def test_dense_speedup_on_largest_workload(efo_pairs, results_dir):
         f"{'scale':>6} {'nodes':>8} {'edges':>8} {'rounds':>6} "
         f"{'reference_s':>12} {'dense_s':>9} {'speedup':>8}",
     ]
+    from .conftest import record_bench
+
     speedups = {}
     for scale in SCALES:
         union = efo_pairs[scale]
@@ -106,6 +108,10 @@ def test_dense_speedup_on_largest_workload(efo_pairs, results_dir):
             lambda: _run_reference(union), lambda: _run_dense(union)
         )
         assert dense.equivalent_to(reference), f"engines diverged at scale {scale}"
+        record_bench(
+            f"engine_dense/scale{scale}", dense_time,
+            speedup=reference_time / dense_time,
+        )
         stats = FixpointStats()
         interner = ColorInterner()
         dense_refine_fixpoint(

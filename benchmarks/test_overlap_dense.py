@@ -99,6 +99,11 @@ def test_dense_overlap_speedup_on_largest_workload(workloads, results_dir):
         assert dense.partition.equivalent_to(reference.partition)
         assert dense.trace.rounds == reference.trace.rounds
         speedups[scale] = reference_time / dense_time
+        from .conftest import record_bench
+
+        record_bench(
+            f"overlap_dense/scale{scale}", dense_time, speedup=speedups[scale]
+        )
         union = reference.graph
         lines.append(
             f"{scale:>6} {union.num_nodes:>8} {union.num_edges:>8} "

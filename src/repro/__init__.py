@@ -14,7 +14,7 @@ Public API highlights:
 * :mod:`repro.experiments` — one module per paper figure (9–16).
 """
 
-from .api import AlignmentMethod, AlignmentResult, align_versions
+from .api import AlignmentMethod, AlignmentResult, align_many, align_versions
 from .exceptions import (
     AlignmentError,
     ExperimentError,
@@ -61,6 +61,7 @@ __all__ = [
     "TripleGraph",
     "URI",
     "__version__",
+    "align_many",
     "align_versions",
     "blank",
     "combine",

@@ -18,7 +18,7 @@ form the hierarchy ``trivial ⊆ deblank ⊆ hybrid`` (Section 3.4), with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal as TypingLiteral
+from typing import Literal as TypingLiteral, Sequence
 
 from .core.deblank import deblank_partition
 from .core.dense import RefinementEngine, resolve_refine_engine
@@ -71,6 +71,58 @@ class AlignmentResult:
         )
 
 
+def _run_alignment(
+    graph: CombinedGraph,
+    method: AlignmentMethod,
+    theta: float,
+    splitter,
+    probe: str,
+    engine: RefinementEngine,
+    csr: CSRGraph | None,
+) -> AlignmentResult:
+    """Shared core of :func:`align_versions` and :func:`align_many`."""
+    interner = ColorInterner()
+    weighted = None
+    trace = None
+    if method == "trivial":
+        partition = trivial_partition(graph, interner, engine=engine)
+    elif method == "deblank":
+        partition = deblank_partition(
+            graph, interner, engine=engine,
+            **({"csr": csr} if csr is not None else {}),
+        )
+    elif method == "hybrid":
+        partition = hybrid_partition(graph, interner, engine=engine, csr=csr)
+    elif method == "overlap":
+        trace = OverlapTrace()
+        weighted = overlap_partition(
+            graph,
+            theta=theta,
+            interner=interner,
+            base=hybrid_partition(graph, interner, engine=engine, csr=csr),
+            probe=probe,  # type: ignore[arg-type]
+            splitter=splitter,
+            trace=trace,
+            engine=engine,
+            csr=csr,
+        )
+        partition = weighted.partition
+    else:
+        raise ExperimentError(
+            f"unknown method {method!r}; expected one of {METHOD_ORDER}"
+        )
+    return AlignmentResult(
+        method=method,
+        graph=graph,
+        partition=partition,
+        alignment=PartitionAlignment(graph, partition),
+        interner=interner,
+        weighted=weighted,
+        trace=trace,
+        engine=engine,
+    )
+
+
 def align_versions(
     source: TripleGraph,
     target: TripleGraph,
@@ -111,43 +163,74 @@ def align_versions(
     """
     resolve_refine_engine(engine)  # fail fast on typos
     graph = CombinedGraph(source, target)
-    interner = ColorInterner()
-    weighted = None
-    trace = None
-    if method == "trivial":
-        partition = trivial_partition(graph, interner, engine=engine)
-    elif method == "deblank":
-        partition = deblank_partition(graph, interner, engine=engine)
-    elif method == "hybrid":
-        partition = hybrid_partition(graph, interner, engine=engine)
-    elif method == "overlap":
-        trace = OverlapTrace()
-        # The dense engine reuses one CSR snapshot for the hybrid base and
-        # every round of the overlap loop (the graph never changes).
-        csr = CSRGraph(graph) if engine == "dense" else None
-        weighted = overlap_partition(
-            graph,
-            theta=theta,
-            interner=interner,
-            base=hybrid_partition(graph, interner, engine=engine, csr=csr),
-            probe=probe,  # type: ignore[arg-type]
-            splitter=splitter,
-            trace=trace,
-            engine=engine,
-            csr=csr,
-        )
-        partition = weighted.partition
-    else:
-        raise ExperimentError(
-            f"unknown method {method!r}; expected one of {METHOD_ORDER}"
-        )
-    return AlignmentResult(
-        method=method,
-        graph=graph,
-        partition=partition,
-        alignment=PartitionAlignment(graph, partition),
-        interner=interner,
-        weighted=weighted,
-        trace=trace,
-        engine=engine,
+    # The dense engine reuses one CSR snapshot for the hybrid base and
+    # every round of the overlap loop (the graph never changes).
+    csr = CSRGraph(graph) if engine == "dense" and method != "trivial" else None
+    return _run_alignment(graph, method, theta, splitter, probe, engine, csr)
+
+
+def _memoized_splitter(splitter):
+    """Cache a literal characterizer by literal *value*.
+
+    Version chains share most of their literal values, so across a batch
+    of alignments every distinct string is split exactly once.
+    """
+    cache: dict[str, frozenset] = {}
+
+    def cached(value: str) -> frozenset:
+        objects = cache.get(value)
+        if objects is None:
+            objects = cache[value] = splitter(value)
+        return objects
+
+    return cached
+
+
+def align_many(
+    source: TripleGraph,
+    targets: Sequence[TripleGraph],
+    method: AlignmentMethod = "hybrid",
+    theta: float = 0.65,
+    splitter=split_words,
+    probe: str = "paper",
+    engine: RefinementEngine = "reference",
+) -> list[AlignmentResult]:
+    """Align one source version against many target versions.
+
+    Produces the same results as calling :func:`align_versions` once per
+    target, but materializes the source side's artifacts exactly once and
+    reuses them across the batch:
+
+    * with ``engine="dense"``, the source graph's CSR block is built once
+      and every pair's union snapshot is assembled from it by
+      :meth:`~repro.model.csr.CSRGraph.from_blocks` (only the target block
+      is new per pair);
+    * the overlap method's literal characterization is memoized by literal
+      *value*, so the source side's literals — and every value shared
+      between targets — are split once for the whole batch.
+
+    This is the one-row slice of the evaluation's version matrices; the
+    figure experiments cache even more aggressively via
+    :class:`repro.experiments.store.VersionStore`.
+    """
+    resolve_refine_engine(engine)  # fail fast before building anything
+    targets = list(targets)
+    dense = engine == "dense" and method != "trivial"
+    source_block = CSRGraph(source) if dense else None
+    shared_splitter = (
+        _memoized_splitter(splitter) if method == "overlap" else splitter
     )
+    results = []
+    for target in targets:
+        graph = CombinedGraph(source, target)
+        csr = (
+            CSRGraph.from_blocks(source_block, CSRGraph(target))
+            if dense
+            else None
+        )
+        results.append(
+            _run_alignment(
+                graph, method, theta, shared_splitter, probe, engine, csr
+            )
+        )
+    return results

@@ -106,6 +106,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="refinement engine for experiments that accept one "
         "(figure13/14/15 overlap runs and the figure16 timings)",
     )
+    experiment_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the experiment cells (0 = one per CPU; "
+        "default: serial).  Parallel reports are byte-identical to serial "
+        "ones — cells are sharded with a deterministic merge",
+    )
     experiment_cmd.add_argument("--out", default="results", help="report directory")
     experiment_cmd.add_argument(
         "--no-check", action="store_true", help="skip the shape checks"
@@ -201,6 +209,9 @@ def _command_experiment(args: argparse.Namespace) -> int:
         value = getattr(args, key)
         if value is not None:
             parameters[key] = value
+    if args.jobs is not None:
+        # run_sharded resolves 0 = "one per CPU" and clamps per figure.
+        parameters["jobs"] = args.jobs
     results = run_experiments(
         args.names or None,
         out_dir=args.out,

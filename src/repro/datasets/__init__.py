@@ -12,6 +12,7 @@ from .mutations import (
     make_name,
     sample_fraction,
 )
+from .registry import clear_shared_generators, shared_generator, shared_generator_count
 
 __all__ = [
     "DBpediaCategoryGenerator",
@@ -22,6 +23,7 @@ __all__ = [
     "GtoPdbConfig",
     "GtoPdbGenerator",
     "OntologyClass",
+    "clear_shared_generators",
     "curation_edit",
     "edit_typo",
     "edit_word",
@@ -29,4 +31,6 @@ __all__ = [
     "make_identifier",
     "make_name",
     "sample_fraction",
+    "shared_generator",
+    "shared_generator_count",
 ]

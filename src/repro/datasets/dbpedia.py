@@ -90,6 +90,14 @@ class DBpediaCategoryGenerator:
         self._built = False
         self._graphs: dict[int, RDFGraph] = {}
 
+    @classmethod
+    def shared(cls, scale: float = 1.0, seed: int = 30,
+               versions: int = 6) -> "DBpediaCategoryGenerator":
+        """The process-wide memoized generator for this configuration."""
+        from .registry import shared_generator
+
+        return shared_generator(cls, scale=scale, seed=seed, versions=versions)
+
     # ------------------------------------------------------------------
     def _new_category(self, entity: int, born: int) -> _Category:
         rng = self._rng

@@ -121,6 +121,14 @@ class EFOGenerator:
         self._graphs: dict[int, RDFGraph] = {}
         self._entities: dict[int, dict[int, URI]] = {}
 
+    @classmethod
+    def shared(cls, scale: float = 1.0, seed: int = 234,
+               versions: int = 10) -> "EFOGenerator":
+        """The process-wide memoized generator for this configuration."""
+        from .registry import shared_generator
+
+        return shared_generator(cls, scale=scale, seed=seed, versions=versions)
+
     # ------------------------------------------------------------------
     # Entity population
     # ------------------------------------------------------------------

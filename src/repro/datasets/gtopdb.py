@@ -188,6 +188,14 @@ class GtoPdbGenerator:
         self._databases: list[RelationalDatabase] | None = None
         self._exports: dict[int, tuple[RDFGraph, dict[EntityKey, object]]] = {}
 
+    @classmethod
+    def shared(cls, scale: float = 1.0, seed: int = 2016,
+               versions: int = 10) -> "GtoPdbGenerator":
+        """The process-wide memoized generator for this configuration."""
+        from .registry import shared_generator
+
+        return shared_generator(cls, scale=scale, seed=seed, versions=versions)
+
     # ------------------------------------------------------------------
     # Row factories (fresh persistent ids per table)
     # ------------------------------------------------------------------

@@ -1,0 +1,75 @@
+"""Process-level memoization of the synthetic dataset generators.
+
+Every figure experiment regenerates its dataset from ``(seed, scale,
+versions)``; within one process (a figure-suite run, a benchmark session,
+a parallel worker) the same configuration therefore used to be generated
+several times — Figures 13, 14 and 15 alone build the GtoPdb version
+chain three times.  :func:`shared_generator` keys generator instances by
+their full configuration so each synthetic version chain is built exactly
+once per process; the generators cache their versions internally, making
+the shared instance a read-mostly object that later figures (and the
+batch-execution :class:`~repro.experiments.store.VersionStore`) reuse.
+
+Generators build their state lazily but *deterministically*: the entity
+population is derived on first access from the seed alone, and per-version
+graphs use per-version RNG streams, so the shared instance produces the
+same graphs regardless of which figure touched it first.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, TypeVar
+
+Generator = TypeVar("Generator")
+
+_LOCK = threading.Lock()
+_GENERATORS: dict[tuple, Any] = {}
+
+#: Caches derived from shared generators (e.g. the experiment
+#: VersionStore registry) register a clear callback here so
+#: :func:`clear_shared_generators` actually releases their memory too.
+_CLEAR_HOOKS: list[Callable[[], None]] = []
+
+
+def register_clear_hook(hook: Callable[[], None]) -> None:
+    """Run *hook* whenever the shared generators are cleared."""
+    with _LOCK:
+        _CLEAR_HOOKS.append(hook)
+
+
+def shared_generator(
+    factory: Callable[..., Generator],
+    scale: float,
+    seed: int,
+    versions: int,
+) -> Generator:
+    """The process-wide generator for ``factory(scale, seed, versions)``.
+
+    *factory* is one of the generator classes; the instance is created on
+    first request and returned for every later request with the same
+    configuration.  Custom ``config=`` objects are deliberately not
+    supported here — a bespoke configuration should own its generator.
+    """
+    key = (factory.__qualname__, float(scale), int(seed), int(versions))
+    with _LOCK:
+        generator = _GENERATORS.get(key)
+        if generator is None:
+            generator = factory(scale=scale, seed=seed, versions=versions)
+            _GENERATORS[key] = generator
+        return generator
+
+
+def clear_shared_generators() -> None:
+    """Drop all memoized generators and derived caches (tests, memory)."""
+    with _LOCK:
+        _GENERATORS.clear()
+        hooks = list(_CLEAR_HOOKS)
+    for hook in hooks:
+        hook()
+
+
+def shared_generator_count() -> int:
+    """How many distinct generator configurations are currently cached."""
+    with _LOCK:
+        return len(_GENERATORS)

@@ -51,6 +51,7 @@ def pairwise_matrix(
     graphs: Sequence[RDFGraph],
     cell: CellFunction,
     symmetric_fill: bool = False,
+    jobs: int = 1,
 ) -> VersionMatrix:
     """Evaluate *cell* on every version pair.
 
@@ -58,15 +59,29 @@ def pairwise_matrix(
     the value — a time saver for measures that are symmetric by definition.
     Self-alignments combine a version with an identical copy of itself
     (the side tagging keeps the two occurrences disjoint).
+
+    ``jobs`` shards the cells over that many worker processes (see
+    :mod:`repro.experiments.parallel`); the merge order is deterministic,
+    so the resulting matrix is identical to a serial run.  *cell* must
+    then be a pure function of its union (it runs in a forked worker).
     """
     size = len(graphs)
     matrix = VersionMatrix(size=size)
-    for source in range(size):
-        for target in range(size):
-            if symmetric_fill and source > target:
-                continue
-            union = combine(graphs[source], graphs[target])
-            matrix[(source, target)] = cell(union)
+    pairs = [
+        (source, target)
+        for source in range(size)
+        for target in range(size)
+        if not (symmetric_fill and source > target)
+    ]
+
+    def compute(pair: tuple[int, int]) -> float:
+        source, target = pair
+        return cell(combine(graphs[source], graphs[target]))
+
+    from ..experiments.parallel import run_sharded
+
+    for pair, value in zip(pairs, run_sharded(compute, pairs, jobs=jobs)):
+        matrix[pair] = value
     if symmetric_fill:
         for source in range(size):
             for target in range(source):

@@ -11,11 +11,14 @@ from . import (
     figure16,
 )
 from .base import ExperimentResult, assert_shape
+from .parallel import run_sharded
 from .runner import EXPERIMENTS, experiment_module, run_experiments
+from .store import VersionStore
 
 __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
+    "VersionStore",
     "assert_shape",
     "experiment_module",
     "figure09",
@@ -27,4 +30,5 @@ __all__ = [
     "figure15",
     "figure16",
     "run_experiments",
+    "run_sharded",
 ]

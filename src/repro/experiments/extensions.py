@@ -48,7 +48,7 @@ def run(scale: float = 0.4, seed: int = 2016, versions: int = 6) -> ExperimentRe
     rows: list[dict] = []
 
     # ---- predicate-aware refinement on a GtoPdb pair --------------------
-    generator = GtoPdbGenerator(scale=scale, seed=seed, versions=versions)
+    generator = GtoPdbGenerator.shared(scale=scale, seed=seed, versions=versions)
     union, truth = generator.combined(0, 1)
     interner = ColorInterner()
     hybrid = hybrid_partition(union, interner)
@@ -60,7 +60,7 @@ def run(scale: float = 0.4, seed: int = 2016, versions: int = 6) -> ExperimentRe
 
     # ---- version archives ------------------------------------------------
     for name, graphs in (
-        ("efo", EFOGenerator(scale=scale, versions=versions).graphs()),
+        ("efo", EFOGenerator.shared(scale=scale, versions=versions).graphs()),
         ("gtopdb", generator.graphs()),
     ):
         archive = VersionArchive.build(graphs)

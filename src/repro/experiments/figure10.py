@@ -10,35 +10,44 @@ exception around version 3 caused by blank-count fluctuations.
 
 from __future__ import annotations
 
-from functools import partial
-
-from ..core.deblank import deblank_partition
-from ..core.trivial import trivial_partition
-from ..datasets.efo import EFOGenerator
-from ..evaluation.matrices import VersionMatrix, gradient_violations, pairwise_matrix
-from ..evaluation.metrics import aligned_edge_ratio
+from ..evaluation.matrices import VersionMatrix, gradient_violations
 from ..evaluation.reporting import render_matrix
-from ..model.union import CombinedGraph
-from ..partition.interner import ColorInterner
 from .base import ExperimentResult
+from .parallel import run_sharded
+from .store import VersionStore
 
 FIGURE = "Figure 10"
 TITLE = "Trivial and Deblank alignments (EFO): aligned-edge ratios"
 
 
-def _trivial_cell(union: CombinedGraph) -> float:
-    return aligned_edge_ratio(union, trivial_partition(union, ColorInterner()))
+def run(
+    scale: float = 0.35, seed: int = 234, versions: int = 10, jobs: int = 1
+) -> ExperimentResult:
+    store = VersionStore.shared("efo", scale=scale, seed=seed, versions=versions)
+    # Once-per-version work up front: the cells below are pure set algebra
+    # over these artifacts (no union graph, no node-level refinement).
+    store.prepare(summaries=True, tokens=("trivial", "deblank"))
+    pairs = [
+        (source, target)
+        for source in range(versions)
+        for target in range(source, versions)
+    ]
 
+    def cell(pair: tuple[int, int]) -> tuple[float, float]:
+        source, target = pair
+        return (
+            store.aligned_edge_ratio(source, target, "trivial"),
+            store.aligned_edge_ratio(source, target, "deblank"),
+        )
 
-def _deblank_cell(union: CombinedGraph) -> float:
-    return aligned_edge_ratio(union, deblank_partition(union, ColorInterner()))
-
-
-def run(scale: float = 0.35, seed: int = 234, versions: int = 10) -> ExperimentResult:
-    generator = EFOGenerator(scale=scale, seed=seed, versions=versions)
-    graphs = generator.graphs()
-    trivial_matrix = pairwise_matrix(graphs, _trivial_cell, symmetric_fill=True)
-    deblank_matrix = pairwise_matrix(graphs, _deblank_cell, symmetric_fill=True)
+    trivial_matrix = VersionMatrix(size=versions)
+    deblank_matrix = VersionMatrix(size=versions)
+    for (source, target), (trivial_value, deblank_value) in zip(
+        pairs, run_sharded(cell, pairs, jobs=jobs)
+    ):
+        for pair in {(source, target), (target, source)}:
+            trivial_matrix[pair] = trivial_value
+            deblank_matrix[pair] = deblank_value
     rows = [
         {
             "source": source + 1,

@@ -10,31 +10,15 @@ a rename event.
 
 from __future__ import annotations
 
-from ..core.deblank import deblank_partition
-from ..core.hybrid import hybrid_partition
-from ..datasets.efo import EFOGenerator
-from ..evaluation.matrices import VersionMatrix, difference_matrix, pairwise_matrix
+from ..evaluation.matrices import VersionMatrix, difference_matrix
 from ..evaluation.metrics import aligned_edge_count
 from ..evaluation.reporting import render_matrix
-from ..model.union import CombinedGraph
-from ..partition.interner import ColorInterner
-from ..similarity.overlap_alignment import overlap_partition
 from .base import ExperimentResult
+from .parallel import run_sharded
+from .store import VersionStore
 
 FIGURE = "Figure 11"
 TITLE = "Hybrid vs Deblank and Overlap vs Hybrid (EFO): extra aligned edges"
-
-
-def _counts(union: CombinedGraph, theta: float) -> tuple[int, int, int]:
-    interner = ColorInterner()
-    deblank = deblank_partition(union, interner)
-    hybrid = hybrid_partition(union, interner, base=deblank)
-    overlap = overlap_partition(union, theta=theta, interner=interner, base=hybrid)
-    return (
-        aligned_edge_count(union, deblank),
-        aligned_edge_count(union, hybrid),
-        aligned_edge_count(union, overlap.partition),
-    )
 
 
 def run(
@@ -42,23 +26,41 @@ def run(
     seed: int = 234,
     versions: int = 10,
     theta: float = 0.65,
+    jobs: int = 1,
+    engine: str = "reference",
 ) -> ExperimentResult:
-    generator = EFOGenerator(scale=scale, seed=seed, versions=versions)
-    graphs = generator.graphs()
+    store = VersionStore.shared("efo", scale=scale, seed=seed, versions=versions)
+    store.prepare(summaries=True, tokens=("deblank",), csr=engine == "dense")
     deblank_matrix = VersionMatrix(size=versions)
     hybrid_matrix = VersionMatrix(size=versions)
     overlap_matrix = VersionMatrix(size=versions)
+    pairs = [
+        (source, target)
+        for source in range(versions)
+        for target in range(source, versions)
+    ]
 
-    from ..model.union import combine
+    def cell(pair: tuple[int, int]) -> tuple[int, int, int]:
+        source, target = pair
+        # Deblank needs no union at all; hybrid and overlap run over the
+        # store's memoized cell context (shared snapshot + composed base).
+        deblank_count = store.aligned_edge_count(source, target, "deblank")
+        context = store.cell_context(source, target, engine)
+        weighted, _ = store.overlap_result(
+            source, target, theta=theta, engine=engine
+        )
+        return (
+            deblank_count,
+            aligned_edge_count(context.union, context.hybrid),
+            aligned_edge_count(context.union, weighted.partition),
+        )
 
-    for source in range(versions):
-        for target in range(source, versions):
-            union = combine(graphs[source], graphs[target])
-            deblank_count, hybrid_count, overlap_count = _counts(union, theta)
-            for pair in {(source, target), (target, source)}:
-                deblank_matrix[pair] = deblank_count
-                hybrid_matrix[pair] = hybrid_count
-                overlap_matrix[pair] = overlap_count
+    for (source, target), counts in zip(pairs, run_sharded(cell, pairs, jobs=jobs)):
+        deblank_count, hybrid_count, overlap_count = counts
+        for pair in {(source, target), (target, source)}:
+            deblank_matrix[pair] = deblank_count
+            hybrid_matrix[pair] = hybrid_count
+            overlap_matrix[pair] = overlap_count
 
     hybrid_gain = difference_matrix(hybrid_matrix, deblank_matrix)
     overlap_gain = difference_matrix(overlap_matrix, hybrid_matrix)
@@ -85,7 +87,10 @@ def run(
     return ExperimentResult(
         figure=FIGURE,
         title=TITLE,
-        parameters={"scale": scale, "seed": seed, "versions": versions, "theta": theta},
+        parameters={
+            "scale": scale, "seed": seed, "versions": versions,
+            "theta": theta, "engine": engine,
+        },
         rows=rows,
         rendered=rendered,
         notes=[

@@ -7,28 +7,32 @@ big insertion burst into version 4 (cf. Figure 13's discussion).
 
 from __future__ import annotations
 
-from ..datasets.gtopdb import GtoPdbGenerator
 from ..evaluation.reporting import render_table
 from .base import ExperimentResult
+from .parallel import run_sharded
+from .store import VersionStore
 
 FIGURE = "Figure 12"
 TITLE = "GtoPdb dataset versions (node/edge counts)"
 
 
-def run(scale: float = 0.5, seed: int = 2016, versions: int = 10) -> ExperimentResult:
-    generator = GtoPdbGenerator(scale=scale, seed=seed, versions=versions)
-    rows = []
-    for index, graph in enumerate(generator.graphs()):
-        stats = graph.stats()
-        rows.append(
-            {
-                "version": index + 1,
-                "edges": stats.num_edges,
-                "uris": stats.num_uris,
-                "literals": stats.num_literals,
-                "blanks": stats.num_blanks,
-            }
-        )
+def run(
+    scale: float = 0.5, seed: int = 2016, versions: int = 10, jobs: int = 1
+) -> ExperimentResult:
+    store = VersionStore.shared("gtopdb", scale=scale, seed=seed, versions=versions)
+    store.prepare()
+
+    def version_row(index: int) -> dict:
+        stats = store.graph(index).stats()
+        return {
+            "version": index + 1,
+            "edges": stats.num_edges,
+            "uris": stats.num_uris,
+            "literals": stats.num_literals,
+            "blanks": stats.num_blanks,
+        }
+
+    rows = run_sharded(version_row, range(versions), jobs=jobs)
     rendered = render_table(
         ["version", "edges", "uris", "literals", "blanks"],
         [

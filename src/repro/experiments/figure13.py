@@ -10,18 +10,15 @@ versions 3 and 4 (the insertion burst) and nearly vanishes between 7 and 8
 
 from __future__ import annotations
 
-from ..core.hybrid import hybrid_partition
-from ..datasets.gtopdb import GtoPdbGenerator
-from ..model.csr import CSRGraph
 from ..evaluation.metrics import (
     ground_truth_entity_count,
     matched_entity_count,
     total_entity_count,
 )
 from ..evaluation.reporting import render_table
-from ..partition.interner import ColorInterner
-from ..similarity.overlap_alignment import overlap_partition
 from .base import ExperimentResult
+from .parallel import run_sharded
+from .store import VersionStore
 
 FIGURE = "Figure 13"
 TITLE = "Alignments (GtoPdb): aligned node counts on consecutive version pairs"
@@ -33,27 +30,25 @@ def run(
     versions: int = 10,
     theta: float = 0.65,
     engine: str = "reference",
+    jobs: int = 1,
 ) -> ExperimentResult:
-    generator = GtoPdbGenerator(scale=scale, seed=seed, versions=versions)
-    rows = []
-    for index in range(versions - 1):
-        union, truth = generator.combined(index, index + 1)
-        interner = ColorInterner()
-        csr = CSRGraph(union) if engine == "dense" else None
-        hybrid = hybrid_partition(union, interner, engine=engine, csr=csr)
-        overlap = overlap_partition(
-            union, theta=theta, interner=interner, base=hybrid,
-            engine=engine, csr=csr,
-        )
-        rows.append(
-            {
-                "pair": f"{index + 1}->{index + 2}",
-                "hybrid": matched_entity_count(union, hybrid),
-                "overlap": matched_entity_count(union, overlap.partition),
-                "gtopdb": ground_truth_entity_count(union, truth),
-                "total": total_entity_count(union, truth),
-            }
-        )
+    store = VersionStore.shared("gtopdb", scale=scale, seed=seed, versions=versions)
+    store.prepare(summaries=True, csr=engine == "dense")
+
+    def pair_row(index: int) -> dict:
+        context = store.cell_context(index, index + 1, engine)
+        weighted, _ = store.overlap_result(index, index + 1, theta=theta, engine=engine)
+        truth = store.ground_truth(index, index + 1)
+        union = context.union
+        return {
+            "pair": f"{index + 1}->{index + 2}",
+            "hybrid": matched_entity_count(union, context.hybrid),
+            "overlap": matched_entity_count(union, weighted.partition),
+            "gtopdb": ground_truth_entity_count(union, truth),
+            "total": total_entity_count(union, truth),
+        }
+
+    rows = run_sharded(pair_row, range(versions - 1), jobs=jobs)
     rendered = render_table(
         ["pair", "Hybrid", "Overlap", "GtoPdb", "Total"],
         [

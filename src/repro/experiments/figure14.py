@@ -10,14 +10,11 @@ nodes.
 
 from __future__ import annotations
 
-from ..core.hybrid import hybrid_partition
-from ..datasets.gtopdb import GtoPdbGenerator
-from ..model.csr import CSRGraph
 from ..evaluation.precision import precision_counts
 from ..evaluation.reporting import render_stacked_fractions
-from ..partition.interner import ColorInterner
-from ..similarity.overlap_alignment import overlap_partition
 from .base import ExperimentResult
+from .parallel import run_sharded
+from .store import VersionStore
 
 FIGURE = "Figure 14"
 TITLE = "Alignment precision (GtoPdb): exact/inclusive/false/missing per pair"
@@ -31,27 +28,30 @@ def run(
     versions: int = 10,
     theta: float = 0.65,
     engine: str = "reference",
+    jobs: int = 1,
 ) -> ExperimentResult:
-    generator = GtoPdbGenerator(scale=scale, seed=seed, versions=versions)
-    rows = []
-    for index in range(versions - 1):
-        union, truth = generator.combined(index, index + 1)
-        interner = ColorInterner()
-        csr = CSRGraph(union) if engine == "dense" else None
-        hybrid = hybrid_partition(union, interner, engine=engine, csr=csr)
-        overlap = overlap_partition(
-            union, theta=theta, interner=interner, base=hybrid,
-            engine=engine, csr=csr,
-        )
-        hybrid_counts = precision_counts(union, hybrid, truth)
-        overlap_counts = precision_counts(union, overlap.partition, truth)
+    store = VersionStore.shared("gtopdb", scale=scale, seed=seed, versions=versions)
+    store.prepare(summaries=True, csr=engine == "dense")
+
+    def pair_rows(index: int) -> list[dict]:
+        # Union, hybrid and overlap come from the shared store: a serial
+        # run after Figure 13 at the same configuration reuses its cells.
+        context = store.cell_context(index, index + 1, engine)
+        weighted, _ = store.overlap_result(index, index + 1, theta=theta, engine=engine)
+        truth = store.ground_truth(index, index + 1)
+        hybrid_counts = precision_counts(context.union, context.hybrid, truth)
+        overlap_counts = precision_counts(context.union, weighted.partition, truth)
         pair = f"{index + 1}->{index + 2}"
-        rows.append(
-            {"pair": pair, "method": "hybrid", **hybrid_counts.as_dict()}
-        )
-        rows.append(
-            {"pair": pair, "method": "overlap", **overlap_counts.as_dict()}
-        )
+        return [
+            {"pair": pair, "method": "hybrid", **hybrid_counts.as_dict()},
+            {"pair": pair, "method": "overlap", **overlap_counts.as_dict()},
+        ]
+
+    rows = [
+        row
+        for rows_of_pair in run_sharded(pair_rows, range(versions - 1), jobs=jobs)
+        for row in rows_of_pair
+    ]
     bars = []
     for row in rows:
         bars.append(

@@ -8,14 +8,11 @@ pair (versions 3→4) and finds the exact matches peak at θ = 0.65.
 
 from __future__ import annotations
 
-from ..core.hybrid import hybrid_partition
-from ..datasets.gtopdb import GtoPdbGenerator
-from ..model.csr import CSRGraph
 from ..evaluation.precision import precision_counts
 from ..evaluation.reporting import render_stacked_fractions
-from ..partition.interner import ColorInterner
-from ..similarity.overlap_alignment import overlap_partition
 from .base import ExperimentResult
+from .parallel import run_sharded
+from .store import VersionStore
 
 FIGURE = "Figure 15"
 TITLE = "Overlap alignment between versions 3 and 4 (GtoPdb) per threshold θ"
@@ -32,20 +29,24 @@ def run(
     source_version: int = 3,
     probe: str = "safe",
     engine: str = "reference",
+    jobs: int = 1,
 ) -> ExperimentResult:
-    generator = GtoPdbGenerator(scale=scale, seed=seed, versions=versions)
-    union, truth = generator.combined(source_version - 1, source_version)
-    interner = ColorInterner()
-    csr = CSRGraph(union) if engine == "dense" else None
-    hybrid = hybrid_partition(union, interner, engine=engine, csr=csr)
-    rows = []
-    for theta in thetas:
-        overlap = overlap_partition(
-            union, theta=theta, interner=interner, base=hybrid, probe=probe,  # type: ignore[arg-type]
-            engine=engine, csr=csr,
+    store = VersionStore.shared("gtopdb", scale=scale, seed=seed, versions=versions)
+    pair = (source_version - 1, source_version)
+    # The hybrid base is theta-independent: build it once in the parent so
+    # every worker inherits it; each theta then clones the interner.
+    store.prepare(versions=pair, summaries=True, csr=engine == "dense")
+    store.cell_context(*pair, engine)
+    truth = store.ground_truth(*pair)
+
+    def theta_row(theta: float) -> dict:
+        weighted, _ = store.overlap_result(
+            *pair, theta=theta, probe=probe, engine=engine
         )
-        counts = precision_counts(union, overlap.partition, truth)
-        rows.append({"theta": theta, **counts.as_dict()})
+        counts = precision_counts(store.union(*pair), weighted.partition, truth)
+        return {"theta": theta, **counts.as_dict()}
+
+    rows = run_sharded(theta_row, thetas, jobs=jobs)
     bars = [
         (
             f"θ={row['theta']:.2f}",

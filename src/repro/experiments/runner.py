@@ -60,8 +60,11 @@ def run_experiments(
     """Run the named experiments (all by default).
 
     *parameters* are forwarded to each experiment's ``run`` (unknown keys
-    are filtered per experiment).  With ``check=True`` the shape checks run
-    and their violations are appended to the result notes.
+    are filtered per experiment) — in particular ``jobs=N`` shards each
+    figure's independent cells over N worker processes (see
+    :mod:`repro.experiments.parallel`; reports stay byte-identical to a
+    serial run).  With ``check=True`` the shape checks run and their
+    violations are appended to the result notes.
     """
     import inspect
 

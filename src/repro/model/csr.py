@@ -153,6 +153,59 @@ class CSRGraph:
     def __repr__(self) -> str:
         return f"<CSRGraph nodes={self.num_nodes} pairs={self.num_pairs}>"
 
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_blocks(cls, source: "CSRGraph", target: "CSRGraph") -> "CSRGraph":
+        """Assemble the union snapshot from two per-version blocks.
+
+        Given CSR snapshots of the two *plain* version graphs, build the
+        snapshot of their disjoint union ``CombinedGraph(source, target)``
+        without re-walking either graph: the union's node order is exactly
+        "all source nodes, then all target nodes" (side-tagged), so the
+        adjacency arrays are the source block followed by the target block
+        with every dense id offset by ``source.num_nodes``.
+
+        This is the batch-execution fast path (see
+        :class:`repro.experiments.store.VersionStore`): each version's
+        block is built once and shared by every matrix cell touching it.
+        """
+        from .union import SOURCE, TARGET  # late import: union is a sibling
+
+        snapshot = cls.__new__(cls)
+        offset = source.num_nodes
+        nodes: list[NodeId] = [(SOURCE, node) for node in source.nodes]
+        nodes.extend((TARGET, node) for node in target.nodes)
+        snapshot.nodes = nodes
+        snapshot.index = {node: i for i, node in enumerate(nodes)}
+        offsets = array(INDEX_TYPECODE, source.out_offsets)
+        base = source.out_offsets[-1]
+        offsets.extend(base + v for v in target.out_offsets[1:])
+        snapshot.out_offsets = offsets
+        snapshot.out_predicates = _concat_shifted(
+            source.out_predicates, target.out_predicates, offset
+        )
+        snapshot.out_objects = _concat_shifted(
+            source.out_objects, target.out_objects, offset
+        )
+        return snapshot
+
+
+def _concat_shifted(first: array, second: array, offset: int) -> array:
+    """``first + (second + offset)`` on index arrays (NumPy when available)."""
+    out = array(INDEX_TYPECODE, first)
+    try:
+        import numpy
+
+        out.extend(
+            array(
+                INDEX_TYPECODE,
+                (numpy.frombuffer(second, dtype=numpy.int64) + offset).tobytes(),
+            )
+        )
+    except ImportError:
+        out.extend(v + offset for v in second)
+    return out
+
 
 def csr_snapshot(graph: TripleGraph) -> CSRGraph:
     """Build a :class:`CSRGraph` snapshot of *graph*."""

@@ -64,6 +64,20 @@ class ColorInterner:
     def __iter__(self) -> Iterator[Hashable]:
         return iter(self._keys)
 
+    def clone(self) -> "ColorInterner":
+        """An independent copy with the same key → color bijection.
+
+        Lets several alignment runs branch off one shared base partition
+        (e.g. one hybrid base, many overlap thresholds) without their
+        freshly minted colors interfering: each run interns into its own
+        copy, so a run's results depend only on the shared base, never on
+        which sibling ran first.
+        """
+        copy = ColorInterner()
+        copy._by_key = dict(self._by_key)
+        copy._keys = list(self._keys)
+        return copy
+
     # -- convenience constructors --------------------------------------
     def label_color(self, label: Hashable) -> Color:
         """The color of a node label (used by the initial partition)."""

@@ -26,6 +26,7 @@ guards against accidentally huge inputs.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterator
 
 from ..exceptions import ExperimentError
@@ -38,6 +39,17 @@ from ..partition.interner import ColorInterner
 from .hungarian import matching_with_deletion
 from .oplus import oplus
 from .string_distance import normalized_levenshtein
+
+
+@lru_cache(maxsize=65536)
+def literal_value_distance(first: str, second: str) -> float:
+    """Normalized string edit distance, cached by literal *value* pair.
+
+    Version chains repeat the same literal values across nodes, versions
+    and σEdit instances (curation edits touch a few percent per release),
+    so the cache is shared process-wide rather than per matrix.
+    """
+    return normalized_levenshtein(first, second)
 
 
 class EditDistance:
@@ -92,7 +104,6 @@ class EditDistance:
                 f"σEdit would materialize {pair_count} node pairs (> {max_pairs}); "
                 "use the overlap alignment for graphs of this size"
             )
-        self._literal_cache: dict[tuple[NodeId, NodeId], float] = {}
         self._matrix: dict[tuple[NodeId, NodeId], float] = {
             (n, m): 0.0 for n in self._unaligned_source for m in self._unaligned_target
         }
@@ -114,15 +125,10 @@ class EditDistance:
 
     # ------------------------------------------------------------------
     def _literal_distance(self, source: NodeId, target: NodeId) -> float:
-        pair = (source, target)
-        cached = self._literal_cache.get(pair)
-        if cached is None:
-            first = self._graph.label(source)
-            second = self._graph.label(target)
-            assert isinstance(first, Literal) and isinstance(second, Literal)
-            cached = normalized_levenshtein(first.value, second.value)
-            self._literal_cache[pair] = cached
-        return cached
+        first = self._graph.label(source)
+        second = self._graph.label(target)
+        assert isinstance(first, Literal) and isinstance(second, Literal)
+        return literal_value_distance(first.value, second.value)
 
     def _current(self, source: NodeId, target: NodeId) -> float:
         """`σEdit` under the current matrix estimate."""

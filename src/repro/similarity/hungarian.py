@@ -62,7 +62,32 @@ def _solve_rows_leq_cols(
     assigned_row = [0] * (cols + 1)  # 0 = free column
     predecessor = [0] * (cols + 1)
 
+    # With nonnegative costs the potentials keep every reduced cost >= 0
+    # (standard dual feasibility), so a *free* column at reduced cost 0 is
+    # already a shortest augmenting path — assign it without the O(n·m)
+    # path search.  `σEdit` matrices are full of zeros (same-class pairs
+    # cost 0, the deletion embedding has a zero block), so this early exit
+    # carries most rows.  Matrices with negative entries skip it: there
+    # the zero-length-path argument does not hold.
+    zero_exit = all(
+        value >= 0.0 for cost_row in cost for value in cost_row
+    )
+
     for row in range(1, rows + 1):
+        if zero_exit:
+            free_zero = -1
+            row_costs = cost[row - 1]
+            u_row = u[row]
+            for col in range(1, cols + 1):
+                if (
+                    assigned_row[col] == 0
+                    and row_costs[col - 1] - u_row - v[col] <= 0.0
+                ):
+                    free_zero = col
+                    break
+            if free_zero >= 0:
+                assigned_row[free_zero] = row
+                continue
         assigned_row[0] = row
         min_to_column = [_INF] * (cols + 1)
         visited = [False] * (cols + 1)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import align_versions
+from repro import align_many, align_versions
 from repro.api import METHOD_ORDER
 from repro.cli import main
 from repro.io import ntriples
@@ -85,6 +85,40 @@ class TestAlignVersions:
 
     def test_method_order_constant(self):
         assert METHOD_ORDER == ("trivial", "deblank", "hybrid", "overlap")
+
+
+class TestAlignMany:
+    @pytest.mark.parametrize("method", METHOD_ORDER)
+    @pytest.mark.parametrize("engine", ["reference", "dense"])
+    def test_matches_align_versions(self, method, engine):
+        from repro.datasets.gtopdb import GtoPdbGenerator
+
+        graphs = GtoPdbGenerator(scale=0.12, seed=2016, versions=4).graphs()
+        batch = align_many(graphs[0], graphs[1:], method=method, engine=engine)
+        assert len(batch) == 3
+        for target, result in zip(graphs[1:], batch):
+            single = align_versions(graphs[0], target, method=method, engine=engine)
+            assert result.partition.equivalent_to(single.partition)
+            assert result.matched_entities() == single.matched_entities()
+            assert result.unaligned_counts() == single.unaligned_counts()
+
+    def test_empty_target_list(self, figure3_graphs):
+        assert align_many(figure3_graphs[0], []) == []
+
+    def test_bad_engine_fails_fast(self, figure3_graphs):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            align_many(figure3_graphs[0], [figure3_graphs[1]], engine="nope")
+
+    def test_overlap_batch_shares_literal_characterization(self, figure1_graphs):
+        source, target = figure1_graphs
+        batch = align_many(source, [target, target], method="overlap")
+        single = align_versions(source, target, method="overlap")
+        for result in batch:
+            assert result.partition.equivalent_to(single.partition)
+            assert result.weighted is not None
+            assert result.trace is not None
 
 
 class TestCLI:

@@ -1,0 +1,140 @@
+"""Parallel experiment execution: determinism and sharding semantics.
+
+The contract of :mod:`repro.experiments.parallel` is that ``jobs > 1``
+changes wall-clock time only: results (matrices, figure rows, rendered
+reports, traces) are byte-identical to the serial run, because cells are
+pure functions of prepared per-version artifacts and the merge order is
+the submission order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deblank import deblank_partition
+from repro.datasets.efo import EFOGenerator
+from repro.evaluation.matrices import pairwise_matrix
+from repro.evaluation.metrics import aligned_edge_ratio
+from repro.experiments import figure10, figure13, figure15
+from repro.experiments.parallel import effective_jobs, fork_available, run_sharded
+from repro.model.csr import CSRGraph
+from repro.model.union import CombinedGraph
+from repro.partition.interner import ColorInterner
+from repro.similarity.overlap_alignment import OverlapTrace, overlap_partition
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="parallel pool needs the fork start method"
+)
+
+
+class TestRunSharded:
+    def test_serial_matches_map(self):
+        assert run_sharded(lambda x: x * x, range(6), jobs=1) == [
+            0, 1, 4, 9, 16, 25,
+        ]
+
+    @needs_fork
+    def test_parallel_preserves_order(self):
+        items = list(range(20))
+        assert run_sharded(lambda x: x * 3, items, jobs=4) == [x * 3 for x in items]
+
+    @needs_fork
+    def test_parallel_matches_serial_for_closures(self):
+        offset = 17
+        task = lambda x: x + offset  # noqa: E731 - closures must survive the fork
+        assert run_sharded(task, range(8), jobs=3) == run_sharded(
+            task, range(8), jobs=1
+        )
+
+    @needs_fork
+    def test_worker_exceptions_propagate(self):
+        def boom(x):
+            raise ValueError(f"cell {x}")
+
+        with pytest.raises(ValueError):
+            run_sharded(boom, range(4), jobs=2)
+
+    def test_effective_jobs(self):
+        assert effective_jobs(1, cells=10) == 1
+        assert effective_jobs(8, cells=3) == 3
+        assert effective_jobs(None, cells=1) == 1
+        assert effective_jobs(0, cells=2) <= 2
+
+
+@needs_fork
+class TestPairwiseMatrixDeterminism:
+    @pytest.fixture(scope="class")
+    def graphs(self):
+        return EFOGenerator(scale=0.12, seed=234, versions=4).graphs()
+
+    @pytest.mark.parametrize("engine", ["reference", "dense"])
+    def test_jobs4_byte_identical_to_serial(self, graphs, engine):
+        def cell(union: CombinedGraph) -> float:
+            interner = ColorInterner()
+            csr = CSRGraph(union) if engine == "dense" else None
+            kwargs = {"csr": csr} if csr is not None else {}
+            partition = deblank_partition(union, interner, engine=engine, **kwargs)
+            return aligned_edge_ratio(union, partition)
+
+        serial = pairwise_matrix(graphs, cell, symmetric_fill=True, jobs=1)
+        parallel = pairwise_matrix(graphs, cell, symmetric_fill=True, jobs=4)
+        assert parallel.values == serial.values
+        assert repr(sorted(parallel.values.items())) == repr(
+            sorted(serial.values.items())
+        )
+
+    @pytest.mark.parametrize("engine", ["reference", "dense"])
+    def test_overlap_traces_identical(self, graphs, engine):
+        """The full Algorithm 2 diagnostics match serial, cell for cell."""
+
+        def cell(pair):
+            source, target = pair
+            union = CombinedGraph(graphs[source], graphs[target])
+            interner = ColorInterner()
+            csr = CSRGraph(union) if engine == "dense" else None
+            trace = OverlapTrace()
+            weighted = overlap_partition(
+                union, theta=0.65, interner=interner, trace=trace,
+                engine=engine, csr=csr,
+            )
+            return (
+                trace.literal_matches,
+                tuple(trace.rounds),
+                trace.stopped_by_round_limit,
+                tuple(stats.rounds for stats in trace.weight_stats),
+                weighted.partition.num_classes,
+            )
+
+        pairs = [(0, 1), (1, 2), (2, 3)]
+        assert run_sharded(cell, pairs, jobs=3) == [cell(pair) for pair in pairs]
+
+
+@needs_fork
+class TestFigureDeterminism:
+    def test_figure10_parallel_identical(self):
+        serial = figure10.run(scale=0.12, versions=4, jobs=1)
+        parallel = figure10.run(scale=0.12, versions=4, jobs=3)
+        assert parallel.rows == serial.rows
+        assert parallel.render() == serial.render()
+
+    def test_figure13_parallel_identical(self):
+        serial = figure13.run(scale=0.2, versions=4, jobs=1)
+        parallel = figure13.run(scale=0.2, versions=4, jobs=2)
+        assert parallel.rows == serial.rows
+        assert parallel.render() == serial.render()
+
+    def test_figure13_dense_parallel_identical(self):
+        serial = figure13.run(scale=0.2, versions=4, engine="dense", jobs=1)
+        parallel = figure13.run(scale=0.2, versions=4, engine="dense", jobs=2)
+        assert parallel.rows == serial.rows
+
+    def test_figure15_parallel_identical(self):
+        serial = figure15.run(scale=0.2, versions=4, source_version=2, jobs=1)
+        parallel = figure15.run(scale=0.2, versions=4, source_version=2, jobs=3)
+        assert parallel.rows == serial.rows
+        assert parallel.render() == serial.render()
+
+    def test_jobs_not_in_report_parameters(self):
+        """`jobs` must never leak into reports — it would break identity."""
+        result = figure10.run(scale=0.12, versions=4, jobs=2)
+        assert "jobs" not in result.parameters
