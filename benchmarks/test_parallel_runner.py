@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import time
 
+from repro.align import AlignConfig
 from repro.core.deblank import deblank_partition
 from repro.core.hybrid import hybrid_partition
 from repro.core.trivial import trivial_partition
@@ -156,7 +157,7 @@ def store_path(jobs: int) -> tuple:
     def pair_cell(index):
         context = gtopdb_store.cell_context(index, index + 1)
         weighted, _trace = gtopdb_store.overlap_result(
-            index, index + 1, theta=THETA
+            index, index + 1, AlignConfig(theta=THETA)
         )
         return (
             index,

@@ -13,7 +13,7 @@ Run with::
 import pathlib
 import sys
 
-from repro import align_versions
+from repro import AlignConfig, Aligner
 from repro.datasets import EFOGenerator
 from repro.io import ntriples, turtle
 
@@ -44,18 +44,20 @@ def main(directory: str = "archive") -> None:
     print("\nTurtle preview of version 1 (first 12 lines):")
     print("\n".join(preview.splitlines()[:12]))
 
-    # Parse two archived versions back and align them.
-    source = ntriples.load_path(paths[0])
-    target = ntriples.load_path(paths[-1])
-    source.validate()
-    target.validate()
-    result = align_versions(source, target, method="hybrid")
+    # Align two archived versions straight from their paths (the session
+    # sniffs the format and caches the parsed graphs) and persist the
+    # serializable report next to the archive.
+    aligner = Aligner(AlignConfig(method="hybrid"))
+    result = aligner.align(paths[0], paths[-1])
     unaligned_source, unaligned_target = result.unaligned_counts()
     print(
         f"\nre-aligned {paths[0].name} against {paths[-1].name}: "
         f"{result.matched_entities()} matched entities, "
         f"{unaligned_source}/{unaligned_target} unaligned"
     )
+    report_path = target_dir / "alignment-report.json"
+    result.report(aligner.config).save(report_path)
+    print(f"saved {report_path}")
 
 
 if __name__ == "__main__":

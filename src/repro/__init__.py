@@ -6,7 +6,10 @@ DESIGN.md for the system inventory and experiment index.
 
 Public API highlights:
 
-* :func:`repro.align_versions` — align two RDF graph versions,
+* :mod:`repro.align` — the session API: :class:`repro.Aligner`,
+  :class:`repro.AlignConfig`, the method registry and serializable
+  :class:`repro.AlignmentReport` results,
+* :func:`repro.align_versions` — the legacy one-shot facade,
 * :mod:`repro.model` — labels, triple graphs, RDF graphs, disjoint unions,
 * :mod:`repro.core` — bisimulation refinement, Trivial/Deblank/Hybrid,
 * :mod:`repro.similarity` — σEdit, weighted partitions, Overlap,
@@ -14,16 +17,29 @@ Public API highlights:
 * :mod:`repro.experiments` — one module per paper figure (9–16).
 """
 
+from .align import (
+    AlignConfig,
+    Aligner,
+    AlignmentReport,
+    MethodSpec,
+    register_method,
+)
 from .api import AlignmentMethod, AlignmentResult, align_many, align_versions
 from .exceptions import (
+    AlignError,
     AlignmentError,
+    ConfigError,
     ExperimentError,
     GraphError,
     ParseError,
     PartitionError,
     RDFWellFormednessError,
+    ReportError,
     ReproError,
     SchemaError,
+    ThresholdError,
+    UnknownEngineError,
+    UnknownMethodError,
 )
 from .model import (
     BLANK,
@@ -43,10 +59,21 @@ from .oplus import oplus
 __version__ = "1.0.0"
 
 __all__ = [
+    "AlignConfig",
+    "AlignError",
+    "Aligner",
     "AlignmentError",
     "AlignmentMethod",
+    "AlignmentReport",
     "AlignmentResult",
     "BLANK",
+    "ConfigError",
+    "MethodSpec",
+    "ReportError",
+    "ThresholdError",
+    "UnknownEngineError",
+    "UnknownMethodError",
+    "register_method",
     "BlankNode",
     "CombinedGraph",
     "ExperimentError",

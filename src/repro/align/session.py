@@ -1,0 +1,209 @@
+"""The :class:`Aligner` session: one config, cached per-source state.
+
+An :class:`Aligner` holds an immutable :class:`~repro.align.config.
+AlignConfig` plus per-graph caches that make *repeated* alignments cheap,
+the way :class:`repro.experiments.store.VersionStore` does internally for
+the figure grids:
+
+* a per-version CSR block cache — with ``engine="dense"`` each graph is
+  snapshotted once and every pair's union snapshot is assembled by
+  :meth:`~repro.model.csr.CSRGraph.from_blocks`;
+* a per-splitter literal characterization cache — version chains share
+  most literal values, so across a session every distinct string is
+  split exactly once (subsuming the old ``align_many`` special case);
+* a per-path parse cache — :meth:`Aligner.align` accepts file paths
+  (N-Triples or Turtle, via :func:`repro.io.load_graph`) and loads each
+  path once.
+
+Usage::
+
+    from repro.align import AlignConfig, Aligner
+
+    aligner = Aligner(AlignConfig(method="overlap", engine="dense"))
+    result = aligner.align("v1.nt", "v2.nt")     # paths or TripleGraphs
+    batch = aligner.align_many(v1, [v2, v3, v4])
+    report = aligner.report(v1, v2)              # serializable AlignmentReport
+
+The caches never change results — every alignment is a pure function of
+the two graphs and the config — they only change how often shared work
+is redone.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Callable, Iterable, Sequence
+
+from ..model.csr import CSRGraph
+from ..model.graph import TripleGraph
+from ..model.union import CombinedGraph
+from .config import AlignConfig
+from .methods import MethodContext, run_method
+from .registry import get_method
+from .report import AlignmentReport
+
+#: Anything :class:`Aligner` accepts as one side of an alignment.
+GraphLike = "TripleGraph | str | os.PathLike"
+
+
+class Aligner:
+    """A reusable alignment session around one :class:`AlignConfig`.
+
+    Construct with a config, keyword overrides, or both
+    (``Aligner(config, theta=0.5)`` applies the override on top)::
+
+        aligner = Aligner(method="hybrid", engine="dense")
+
+    Derived sessions share caches: :meth:`evolve` returns a new
+    :class:`Aligner` with a changed config whose block/literal caches are
+    the same objects, so ``aligner.evolve(theta=0.8)`` reuses every
+    snapshot already built.
+    """
+
+    #: Graph snapshots / parsed files kept per session.  LRU-bounded like
+    #: :class:`~repro.experiments.store.VersionStore`'s caches: a session
+    #: aligning an open-ended stream of distinct graphs must not pin
+    #: every input it has ever seen.
+    BLOCK_CACHE_SIZE = 16
+    PATH_CACHE_SIZE = 16
+
+    #: Distinct literal values characterized per splitter before the
+    #: oldest entries are dropped (FIFO; the cache is pure memoization,
+    #: eviction only costs re-splitting).
+    SPLIT_CACHE_SIZE = 1 << 16
+
+    def __init__(self, config: AlignConfig | None = None, **overrides) -> None:
+        if config is None:
+            config = AlignConfig()
+        if overrides:
+            config = config.evolve(**overrides)
+        self.config = config
+        #: id(graph) -> (graph, CSR block); the graph reference pins the
+        #: id while the entry lives (eviction drops both together).
+        self._blocks: OrderedDict[int, tuple[TripleGraph, CSRGraph]] = OrderedDict()
+        #: splitter callable -> {literal value -> characterization}.
+        self._split_caches: dict[Callable, dict[str, frozenset]] = {}
+        #: resolved path -> parsed graph.
+        self._loaded: OrderedDict[str, TripleGraph] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Config composition
+    # ------------------------------------------------------------------
+    def evolve(self, **changes) -> "Aligner":
+        """A sibling session with *changes* applied to the config.
+
+        The new session shares this one's caches (they are config-
+        independent), so sweeping a parameter over one version chain
+        builds each snapshot once.
+        """
+        sibling = Aligner(self.config.evolve(**changes))
+        sibling._blocks = self._blocks
+        sibling._split_caches = self._split_caches
+        sibling._loaded = self._loaded
+        return sibling
+
+    # ------------------------------------------------------------------
+    # Alignment entry points
+    # ------------------------------------------------------------------
+    def align(self, source: GraphLike, target: GraphLike):
+        """Align two versions (graphs or file paths).
+
+        Returns an :class:`~repro.align.results.AlignmentResult` for the
+        partition methods, a :class:`~repro.align.results.BaselineResult`
+        for pair-set methods — both carry ``.alignment`` and
+        ``.report()``.
+        """
+        return self._run(self._resolve(source), self._resolve(target))
+
+    def align_many(self, source: GraphLike, targets: Iterable[GraphLike]) -> list:
+        """Align one source version against many targets.
+
+        Same results as one :meth:`align` per pair; the source side's
+        artifacts are built once and shared (see the module docstring).
+        """
+        resolved = self._resolve(source)
+        return [self._run(resolved, self._resolve(target)) for target in targets]
+
+    def align_pairs(self, pairs: Iterable[Sequence[GraphLike]]) -> list:
+        """Align arbitrary ``(source, target)`` pairs in one session.
+
+        Every graph that recurs across the pair list — a shared ancestor
+        version, a chain walked twice — reuses its cached snapshot.
+        """
+        return [
+            self._run(self._resolve(source), self._resolve(target))
+            for source, target in pairs
+        ]
+
+    def report(self, source: GraphLike, target: GraphLike) -> AlignmentReport:
+        """Align and render the serializable report in one step."""
+        return self.align(source, target).report(self.config)
+
+    # ------------------------------------------------------------------
+    # Cached state
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop every cached snapshot, characterization and parsed file."""
+        self._blocks.clear()
+        self._split_caches.clear()
+        self._loaded.clear()
+
+    def _resolve(self, graph: GraphLike) -> TripleGraph:
+        if isinstance(graph, TripleGraph):
+            return graph
+        if isinstance(graph, (str, os.PathLike)):
+            from ..io import load_graph  # late: io imports nothing back
+
+            key = os.fspath(graph)
+            cached = self._loaded.get(key)
+            if cached is None:
+                cached = self._loaded[key] = load_graph(graph)
+                while len(self._loaded) > self.PATH_CACHE_SIZE:
+                    self._loaded.popitem(last=False)
+            else:
+                self._loaded.move_to_end(key)
+            return cached
+        raise TypeError(
+            f"expected a TripleGraph or a path, got {type(graph).__name__}"
+        )
+
+    def _block(self, graph: TripleGraph) -> CSRGraph:
+        # While an entry lives, its graph reference pins id(graph); an
+        # evicted entry releases the graph and the id may be reused — by
+        # then the stale entry is gone, so the key stays unambiguous.
+        entry = self._blocks.get(id(graph))
+        if entry is None:
+            entry = self._blocks[id(graph)] = (graph, CSRGraph(graph))
+            while len(self._blocks) > self.BLOCK_CACHE_SIZE:
+                self._blocks.popitem(last=False)
+        else:
+            self._blocks.move_to_end(id(graph))
+        return entry[1]
+
+    def _memoized_splitter(self) -> Callable[[str], frozenset]:
+        splitter = self.config.splitter
+        cache = self._split_caches.setdefault(splitter, {})
+        cap = self.SPLIT_CACHE_SIZE
+
+        def cached(value: str) -> frozenset:
+            objects = cache.get(value)
+            if objects is None:
+                objects = cache[value] = splitter(value)
+                if len(cache) > cap:
+                    del cache[next(iter(cache))]
+            return objects
+
+        return cached
+
+    def _run(self, source: TripleGraph, target: TripleGraph):
+        spec = get_method(self.config.method)
+        graph = CombinedGraph(source, target)
+        csr = None
+        if self.config.engine == "dense" and spec.uses_csr:
+            csr = CSRGraph.from_blocks(self._block(source), self._block(target))
+        context = MethodContext(csr=csr, splitter=self._memoized_splitter())
+        return spec.runner(graph, self.config, context)
+
+    def __repr__(self) -> str:
+        return f"Aligner({self.config!r})"

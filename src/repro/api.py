@@ -1,126 +1,67 @@
-"""High-level facade: align two RDF graph versions in one call.
+"""Legacy facade: align two RDF graph versions in one call.
 
-This is the entry point most users want::
+.. deprecated::
+    This module is a thin backward-compatible wrapper over the session
+    API in :mod:`repro.align` — prefer::
 
-    from repro import align_versions
+        from repro.align import AlignConfig, Aligner
 
-    result = align_versions(old_graph, new_graph, method="overlap")
-    for source, target in result.alignment.pairs():
-        ...
+        aligner = Aligner(AlignConfig(method="overlap"))
+        result = aligner.align(old_graph, new_graph)
+
+    :func:`align_versions` and :func:`align_many` keep their exact
+    historical signatures and outputs (the parity suite in
+    ``tests/test_aligner.py`` pins byte-identical reports), and emit one
+    :class:`DeprecationWarning` per process on first use.
 
 Each method corresponds to one of the paper's alignment families and they
 form the hierarchy ``trivial ⊆ deblank ⊆ hybrid`` (Section 3.4), with
 ``overlap`` further refining ``hybrid`` with similarity matches
-(Section 4.7) and ``edit`` computing the expensive reference metric
-`σEdit` (Section 4.2).
+(Section 4.7).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import Literal as TypingLiteral, Sequence
 
-from .core.deblank import deblank_partition
-from .core.dense import RefinementEngine, resolve_refine_engine
-from .core.hybrid import hybrid_partition
-from .core.trivial import trivial_partition
-from .exceptions import ExperimentError
-from .model.csr import CSRGraph
+from .align.config import AlignConfig
+from .align.registry import method_order
+from .align.results import AlignmentResult
+from .align.session import Aligner
+from .core.dense import RefinementEngine
 from .model.graph import TripleGraph
-from .model.union import CombinedGraph
-from .partition.alignment import PartitionAlignment
-from .partition.coloring import Partition
-from .partition.interner import ColorInterner
-from .partition.weighted import WeightedPartition
-from .similarity.overlap_alignment import OverlapTrace, overlap_partition
 from .similarity.string_distance import split_words
 
 #: The alignment methods exposed by :func:`align_versions`.
 AlignmentMethod = TypingLiteral["trivial", "deblank", "hybrid", "overlap"]
 
-#: Methods ordered from coarsest to finest alignment.
-METHOD_ORDER: tuple[str, ...] = ("trivial", "deblank", "hybrid", "overlap")
+#: Methods ordered from coarsest to finest alignment — derived from the
+#: method registry's ``finer_than`` chain, no longer hardcoded.
+METHOD_ORDER: tuple[str, ...] = method_order()
+
+__all__ = [
+    "AlignmentMethod",
+    "AlignmentResult",
+    "METHOD_ORDER",
+    "align_many",
+    "align_versions",
+]
+
+_DEPRECATION_WARNED = False
 
 
-@dataclass(frozen=True)
-class AlignmentResult:
-    """Everything produced by one alignment run.
-
-    ``weighted`` is populated by the overlap method only; ``alignment``
-    always reflects the final partition.
-    """
-
-    method: str
-    graph: CombinedGraph
-    partition: Partition
-    alignment: PartitionAlignment
-    interner: ColorInterner
-    weighted: WeightedPartition | None = None
-    trace: OverlapTrace | None = None
-    engine: str = "reference"
-
-    def matched_entities(self) -> int:
-        """Deduplicated count of aligned entities (matched classes)."""
-        return self.alignment.matched_class_count()
-
-    def unaligned_counts(self) -> tuple[int, int]:
-        """``(|Unaligned_1|, |Unaligned_2|)``."""
-        return (
-            len(self.alignment.unaligned_source()),
-            len(self.alignment.unaligned_target()),
+def _warn_once() -> None:
+    """Emit the facade's DeprecationWarning exactly once per process."""
+    global _DEPRECATION_WARNED
+    if not _DEPRECATION_WARNED:
+        _DEPRECATION_WARNED = True
+        warnings.warn(
+            "repro.align_versions/align_many are a legacy facade; "
+            "use repro.align.Aligner (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=3,
         )
-
-
-def _run_alignment(
-    graph: CombinedGraph,
-    method: AlignmentMethod,
-    theta: float,
-    splitter,
-    probe: str,
-    engine: RefinementEngine,
-    csr: CSRGraph | None,
-) -> AlignmentResult:
-    """Shared core of :func:`align_versions` and :func:`align_many`."""
-    interner = ColorInterner()
-    weighted = None
-    trace = None
-    if method == "trivial":
-        partition = trivial_partition(graph, interner, engine=engine)
-    elif method == "deblank":
-        partition = deblank_partition(
-            graph, interner, engine=engine,
-            **({"csr": csr} if csr is not None else {}),
-        )
-    elif method == "hybrid":
-        partition = hybrid_partition(graph, interner, engine=engine, csr=csr)
-    elif method == "overlap":
-        trace = OverlapTrace()
-        weighted = overlap_partition(
-            graph,
-            theta=theta,
-            interner=interner,
-            base=hybrid_partition(graph, interner, engine=engine, csr=csr),
-            probe=probe,  # type: ignore[arg-type]
-            splitter=splitter,
-            trace=trace,
-            engine=engine,
-            csr=csr,
-        )
-        partition = weighted.partition
-    else:
-        raise ExperimentError(
-            f"unknown method {method!r}; expected one of {METHOD_ORDER}"
-        )
-    return AlignmentResult(
-        method=method,
-        graph=graph,
-        partition=partition,
-        alignment=PartitionAlignment(graph, partition),
-        interner=interner,
-        weighted=weighted,
-        trace=trace,
-        engine=engine,
-    )
 
 
 def align_versions(
@@ -132,58 +73,20 @@ def align_versions(
     probe: str = "paper",
     engine: RefinementEngine = "reference",
 ) -> AlignmentResult:
-    """Align two versions of an RDF graph.
+    """Align two versions of an RDF graph (legacy one-shot form).
 
-    Parameters
-    ----------
-    source, target:
-        The two graph versions (``G1`` and ``G2``).
-    method:
-        ``"trivial"`` — label equality only; ``"deblank"`` — plus
-        bisimulation on blank nodes; ``"hybrid"`` — plus bisimulation on
-        renamed URIs; ``"overlap"`` — plus similarity matches robust under
-        edits (paper default ``θ = 0.65``).
-    theta:
-        Similarity threshold of the overlap method.
-    splitter:
-        Literal characterizer for the overlap method (word split by
-        default; see :mod:`repro.similarity.string_distance`).
-    probe:
-        Prefix-probe rule of the overlap heuristic (``"paper"``/``"safe"``).
-    engine:
-        Refinement implementation: ``"reference"`` (per-node dicts, the
-        oracle) or ``"dense"`` (flat CSR arrays, see
-        :mod:`repro.core.dense`).  For ``method="overlap"`` the dense
-        engine additionally runs the whole Algorithm 2 loop — weight
-        iteration, alignment tracking, candidate search — over one CSR
-        snapshot (:mod:`repro.similarity.dense_overlap`).  Both engines
-        produce equivalent alignments; the dense one is markedly faster
-        on refinement- and overlap-heavy workloads (see
-        ``docs/performance.md``).
+    Equivalent to ``Aligner(AlignConfig(...)).align(source, target)``;
+    see :class:`repro.align.AlignConfig` for the parameter semantics.
+    Invalid parameters raise the :class:`~repro.exceptions.AlignError`
+    hierarchy (still catchable as the historical
+    :class:`~repro.exceptions.ExperimentError` for unknown methods and
+    engines).
     """
-    resolve_refine_engine(engine)  # fail fast on typos
-    graph = CombinedGraph(source, target)
-    # The dense engine reuses one CSR snapshot for the hybrid base and
-    # every round of the overlap loop (the graph never changes).
-    csr = CSRGraph(graph) if engine == "dense" and method != "trivial" else None
-    return _run_alignment(graph, method, theta, splitter, probe, engine, csr)
-
-
-def _memoized_splitter(splitter):
-    """Cache a literal characterizer by literal *value*.
-
-    Version chains share most of their literal values, so across a batch
-    of alignments every distinct string is split exactly once.
-    """
-    cache: dict[str, frozenset] = {}
-
-    def cached(value: str) -> frozenset:
-        objects = cache.get(value)
-        if objects is None:
-            objects = cache[value] = splitter(value)
-        return objects
-
-    return cached
+    _warn_once()
+    config = AlignConfig(
+        method=method, theta=theta, engine=engine, probe=probe, splitter=splitter
+    )
+    return Aligner(config).align(source, target)
 
 
 def align_many(
@@ -197,40 +100,13 @@ def align_many(
 ) -> list[AlignmentResult]:
     """Align one source version against many target versions.
 
-    Produces the same results as calling :func:`align_versions` once per
-    target, but materializes the source side's artifacts exactly once and
-    reuses them across the batch:
-
-    * with ``engine="dense"``, the source graph's CSR block is built once
-      and every pair's union snapshot is assembled from it by
-      :meth:`~repro.model.csr.CSRGraph.from_blocks` (only the target block
-      is new per pair);
-    * the overlap method's literal characterization is memoized by literal
-      *value*, so the source side's literals — and every value shared
-      between targets — are split once for the whole batch.
-
-    This is the one-row slice of the evaluation's version matrices; the
-    figure experiments cache even more aggressively via
-    :class:`repro.experiments.store.VersionStore`.
+    Equivalent to ``Aligner(AlignConfig(...)).align_many(source,
+    targets)`` — the session builds the source side's artifacts once
+    (CSR block, memoized literal characterization) and reuses them
+    across the batch, exactly as this function always did.
     """
-    resolve_refine_engine(engine)  # fail fast before building anything
-    targets = list(targets)
-    dense = engine == "dense" and method != "trivial"
-    source_block = CSRGraph(source) if dense else None
-    shared_splitter = (
-        _memoized_splitter(splitter) if method == "overlap" else splitter
+    _warn_once()
+    config = AlignConfig(
+        method=method, theta=theta, engine=engine, probe=probe, splitter=splitter
     )
-    results = []
-    for target in targets:
-        graph = CombinedGraph(source, target)
-        csr = (
-            CSRGraph.from_blocks(source_block, CSRGraph(target))
-            if dense
-            else None
-        )
-        results.append(
-            _run_alignment(
-                graph, method, theta, shared_splitter, probe, engine, csr
-            )
-        )
-    return results
+    return Aligner(config).align_many(source, list(targets))

@@ -4,13 +4,21 @@ Subcommands
 -----------
 
 ``align``
-    Align two N-Triples files and print the aligned pairs or a summary.
+    Align two RDF files (N-Triples or Turtle, sniffed) and print the
+    aligned pairs, a summary, or a serializable JSON report.
 ``stats``
-    Node/edge statistics of an N-Triples file.
+    Node/edge statistics of an RDF file.
 ``generate``
     Write a version of one of the synthetic datasets as N-Triples.
 ``experiment``
     Run paper-figure experiments and save reports.
+
+Every alignment flag is collected into one
+:class:`~repro.align.config.AlignConfig` and handed to the session API —
+the CLI threads no raw keyword arguments.  The ``--method`` choices come
+from the method registry, so ``register_method`` extensions (and the
+built-in baselines ``similarity_flooding``/``label_invention``) are
+selectable without touching this module.
 """
 
 from __future__ import annotations
@@ -20,12 +28,9 @@ import sys
 from typing import Sequence
 
 from . import __version__
-from .api import METHOD_ORDER, align_versions
+from .align import AlignConfig, Aligner, method_names, method_order
+from .align.config import PROBE_RULES, SPLITTERS
 from .exceptions import ReproError
-from .io import ntriples
-from .similarity.string_distance import character_set, qgrams, split_words
-
-_SPLITTERS = {"words": split_words, "chars": character_set, "qgrams": qgrams}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -36,18 +41,29 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
 
-    align_cmd = commands.add_parser("align", help="align two N-Triples files")
-    align_cmd.add_argument("source", help="source version (.nt)")
-    align_cmd.add_argument("target", help="target version (.nt)")
+    align_cmd = commands.add_parser(
+        "align", help="align two RDF files (N-Triples or Turtle)"
+    )
+    align_cmd.add_argument("source", help="source version (.nt/.ttl)")
+    align_cmd.add_argument("target", help="target version (.nt/.ttl)")
     align_cmd.add_argument(
-        "--method", choices=METHOD_ORDER, default="hybrid", help="alignment method"
+        "--method",
+        choices=method_names(),
+        default="hybrid",
+        help="alignment method (from the method registry, incl. baselines)",
     )
     align_cmd.add_argument("--theta", type=float, default=0.65, help="overlap threshold")
     align_cmd.add_argument(
         "--splitter",
-        choices=sorted(_SPLITTERS),
+        choices=sorted(SPLITTERS),
         default="words",
         help="literal characterizer for the overlap method",
+    )
+    align_cmd.add_argument(
+        "--probe",
+        choices=PROBE_RULES,
+        default="paper",
+        help="prefix-probe rule of the overlap heuristic",
     )
     align_cmd.add_argument(
         "--engine",
@@ -61,17 +77,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--pairs", action="store_true", help="print every aligned pair (TSV)"
     )
     align_cmd.add_argument("--output", help="write pairs to this file instead of stdout")
+    align_cmd.add_argument(
+        "--report",
+        help="write a serializable AlignmentReport (JSON, schema "
+        "repro/alignment-report) to this path",
+    )
 
     stats_cmd = commands.add_parser("stats", help="node/edge statistics of a file")
-    stats_cmd.add_argument("file", help="an N-Triples file")
+    stats_cmd.add_argument("file", help="an RDF file (N-Triples or Turtle)")
 
     delta_cmd = commands.add_parser(
         "delta", help="change report between two versions (alignment-based)"
     )
-    delta_cmd.add_argument("source", help="source version (.nt)")
-    delta_cmd.add_argument("target", help="target version (.nt)")
+    delta_cmd.add_argument("source", help="source version (.nt/.ttl)")
+    delta_cmd.add_argument("target", help="target version (.nt/.ttl)")
     delta_cmd.add_argument(
-        "--method", choices=METHOD_ORDER, default="hybrid", help="alignment method"
+        "--method",
+        choices=method_order(),
+        default="hybrid",
+        help="alignment method (partition methods only: delta walks classes)",
     )
     delta_cmd.add_argument("--limit", type=int, default=20, help="entries per section")
     delta_cmd.add_argument(
@@ -122,16 +146,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _command_align(args: argparse.Namespace) -> int:
-    source = ntriples.load_path(args.source)
-    target = ntriples.load_path(args.target)
-    result = align_versions(
-        source,
-        target,
+    config = AlignConfig(
         method=args.method,
         theta=args.theta,
-        splitter=_SPLITTERS[args.splitter],
         engine=args.engine,
+        probe=args.probe,
+        splitter=args.splitter,
     )
+    aligner = Aligner(config)
+    result = aligner.align(args.source, args.target)
     unaligned_source, unaligned_target = result.unaligned_counts()
     print(
         f"method={result.method} matched_entities={result.matched_entities()} "
@@ -152,22 +175,27 @@ def _command_align(args: argparse.Namespace) -> int:
             print(f"wrote {len(lines)} pairs to {args.output}")
         else:
             sys.stdout.write(text)
+    if args.report:
+        report = result.report(config)
+        report.save(args.report)
+        print(f"wrote report to {args.report}")
     return 0
 
 
 def _command_delta(args: argparse.Namespace) -> int:
     from .delta import compute_delta, render_delta
 
-    source = ntriples.load_path(args.source)
-    target = ntriples.load_path(args.target)
-    result = align_versions(source, target, method=args.method, engine=args.engine)
+    config = AlignConfig(method=args.method, engine=args.engine)
+    result = Aligner(config).align(args.source, args.target)
     delta = compute_delta(result.graph, result.partition)
     print(render_delta(result.graph, delta, limit=args.limit))
     return 0
 
 
 def _command_stats(args: argparse.Namespace) -> int:
-    graph = ntriples.load_path(args.file)
+    from .io import load_graph
+
+    graph = load_graph(args.file)
     stats = graph.stats()
     for key, value in stats.as_dict().items():
         print(f"{key}: {value}")
@@ -178,6 +206,7 @@ def _command_generate(args: argparse.Namespace) -> int:
     from .datasets.dbpedia import DBpediaCategoryGenerator
     from .datasets.efo import EFOGenerator
     from .datasets.gtopdb import GtoPdbGenerator
+    from .io import ntriples
 
     factories = {
         "efo": lambda: EFOGenerator(
@@ -204,19 +233,25 @@ def _command_generate(args: argparse.Namespace) -> int:
 def _command_experiment(args: argparse.Namespace) -> int:
     from .experiments.runner import run_experiments
 
+    # All alignment settings fold into one config; dataset settings
+    # (scale/seed) stay per-figure parameters.
+    overrides = {}
+    for key in ("theta", "engine", "jobs"):
+        value = getattr(args, key)
+        if value is not None:
+            overrides[key] = value
+    config = AlignConfig().evolve(**overrides) if overrides else None
     parameters = {}
-    for key in ("scale", "seed", "theta", "engine"):
+    for key in ("scale", "seed"):
         value = getattr(args, key)
         if value is not None:
             parameters[key] = value
-    if args.jobs is not None:
-        # run_sharded resolves 0 = "one per CPU" and clamps per figure.
-        parameters["jobs"] = args.jobs
     results = run_experiments(
         args.names or None,
         out_dir=args.out,
         check=not args.no_check,
         progress=print,
+        config=config,
         **parameters,
     )
     for result in results.values():

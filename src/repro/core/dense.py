@@ -39,7 +39,7 @@ from __future__ import annotations
 from array import array
 from typing import Callable, Collection, Literal as TypingLiteral
 
-from ..exceptions import ExperimentError, PartitionError
+from ..exceptions import PartitionError, UnknownEngineError
 from ..model.csr import CSRGraph, subset_mask
 from ..model.graph import NodeId, TripleGraph
 from ..partition.coloring import Partition
@@ -279,8 +279,8 @@ def resolve_refine_engine(engine: str) -> Callable[..., Partition]:
     """The fixpoint function for *engine* (``"reference"``/``"dense"``)."""
     try:
         return REFINEMENT_ENGINES[engine]
-    except KeyError:
-        raise ExperimentError(
+    except (KeyError, TypeError):
+        raise UnknownEngineError(
             f"unknown refinement engine {engine!r}; "
             f"expected one of {tuple(sorted(REFINEMENT_ENGINES))}"
         ) from None

@@ -49,3 +49,44 @@ class SchemaError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was configured with invalid parameters."""
+
+
+# ----------------------------------------------------------------------
+# Session API errors (repro.align)
+# ----------------------------------------------------------------------
+class AlignError(ReproError):
+    """Base class for invalid input to the alignment session API.
+
+    Everything a *caller* can get wrong when driving :mod:`repro.align` —
+    a bad configuration value, an unregistered method, a malformed report
+    payload — derives from this class, so ``except AlignError`` separates
+    user mistakes from library bugs.
+    """
+
+
+class ConfigError(AlignError):
+    """An :class:`repro.align.AlignConfig` field has an invalid value."""
+
+
+class UnknownMethodError(ConfigError, ExperimentError):
+    """The requested alignment method is not in the method registry.
+
+    Also an :class:`ExperimentError`, because the legacy facade raised
+    that type for unknown methods and callers may still catch it.
+    """
+
+
+class UnknownEngineError(ConfigError, ExperimentError):
+    """The requested refinement engine does not exist.
+
+    Also an :class:`ExperimentError` for backward compatibility with the
+    pre-session error type of :func:`repro.core.dense.resolve_refine_engine`.
+    """
+
+
+class ThresholdError(ConfigError):
+    """The similarity threshold ``theta`` is outside ``[0, 1]``."""
+
+
+class ReportError(AlignError):
+    """An alignment report payload does not match the declared schema."""

@@ -9,6 +9,7 @@ steadily instead).
 
 from __future__ import annotations
 
+from ..align.config import AlignConfig
 from ..core.bisimulation import bisimulation_partition
 from ..evaluation.reporting import render_table
 from .base import ExperimentResult
@@ -20,7 +21,7 @@ TITLE = "EFO dataset versions (node/edge counts by kind)"
 
 
 def run(
-    scale: float = 0.5, seed: int = 234, versions: int = 10, jobs: int = 1
+    scale: float = 0.5, seed: int = 234, versions: int = 10, config: AlignConfig | None = None
 ) -> ExperimentResult:
     store = VersionStore.shared("efo", scale=scale, seed=seed, versions=versions)
     store.prepare()
@@ -43,7 +44,7 @@ def run(
             "blank_fraction": round(stats.num_blanks / stats.num_nodes, 3),
         }
 
-    rows = run_sharded(version_row, range(versions), jobs=jobs)
+    rows = run_sharded(version_row, range(versions), jobs=(config.jobs if config else 1))
     rendered = render_table(
         [
             "version",

@@ -10,6 +10,7 @@ exception around version 3 caused by blank-count fluctuations.
 
 from __future__ import annotations
 
+from ..align.config import AlignConfig
 from ..evaluation.matrices import VersionMatrix, gradient_violations
 from ..evaluation.reporting import render_matrix
 from .base import ExperimentResult
@@ -21,7 +22,7 @@ TITLE = "Trivial and Deblank alignments (EFO): aligned-edge ratios"
 
 
 def run(
-    scale: float = 0.35, seed: int = 234, versions: int = 10, jobs: int = 1
+    scale: float = 0.35, seed: int = 234, versions: int = 10, config: AlignConfig | None = None
 ) -> ExperimentResult:
     store = VersionStore.shared("efo", scale=scale, seed=seed, versions=versions)
     # Once-per-version work up front: the cells below are pure set algebra
@@ -43,7 +44,7 @@ def run(
     trivial_matrix = VersionMatrix(size=versions)
     deblank_matrix = VersionMatrix(size=versions)
     for (source, target), (trivial_value, deblank_value) in zip(
-        pairs, run_sharded(cell, pairs, jobs=jobs)
+        pairs, run_sharded(cell, pairs, jobs=(config.jobs if config else 1))
     ):
         for pair in {(source, target), (target, source)}:
             trivial_matrix[pair] = trivial_value

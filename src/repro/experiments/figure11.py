@@ -10,6 +10,7 @@ a rename event.
 
 from __future__ import annotations
 
+from ..align.config import AlignConfig
 from ..evaluation.matrices import VersionMatrix, difference_matrix
 from ..evaluation.metrics import aligned_edge_count
 from ..evaluation.reporting import render_matrix
@@ -25,12 +26,13 @@ def run(
     scale: float = 0.25,
     seed: int = 234,
     versions: int = 10,
-    theta: float = 0.65,
-    jobs: int = 1,
-    engine: str = "reference",
+    config: AlignConfig | None = None,
 ) -> ExperimentResult:
+    config = config or AlignConfig()
     store = VersionStore.shared("efo", scale=scale, seed=seed, versions=versions)
-    store.prepare(summaries=True, tokens=("deblank",), csr=engine == "dense")
+    store.prepare(
+        summaries=True, tokens=("deblank",), csr=config.engine == "dense"
+    )
     deblank_matrix = VersionMatrix(size=versions)
     hybrid_matrix = VersionMatrix(size=versions)
     overlap_matrix = VersionMatrix(size=versions)
@@ -45,17 +47,17 @@ def run(
         # Deblank needs no union at all; hybrid and overlap run over the
         # store's memoized cell context (shared snapshot + composed base).
         deblank_count = store.aligned_edge_count(source, target, "deblank")
-        context = store.cell_context(source, target, engine)
-        weighted, _ = store.overlap_result(
-            source, target, theta=theta, engine=engine
-        )
+        context = store.cell_context(source, target, config)
+        weighted, _ = store.overlap_result(source, target, config)
         return (
             deblank_count,
             aligned_edge_count(context.union, context.hybrid),
             aligned_edge_count(context.union, weighted.partition),
         )
 
-    for (source, target), counts in zip(pairs, run_sharded(cell, pairs, jobs=jobs)):
+    for (source, target), counts in zip(
+        pairs, run_sharded(cell, pairs, jobs=config.jobs)
+    ):
         deblank_count, hybrid_count, overlap_count = counts
         for pair in {(source, target), (target, source)}:
             deblank_matrix[pair] = deblank_count
@@ -89,7 +91,7 @@ def run(
         title=TITLE,
         parameters={
             "scale": scale, "seed": seed, "versions": versions,
-            "theta": theta, "engine": engine,
+            "theta": config.theta, "engine": config.engine,
         },
         rows=rows,
         rendered=rendered,

@@ -7,6 +7,7 @@ big insertion burst into version 4 (cf. Figure 13's discussion).
 
 from __future__ import annotations
 
+from ..align.config import AlignConfig
 from ..evaluation.reporting import render_table
 from .base import ExperimentResult
 from .parallel import run_sharded
@@ -17,7 +18,7 @@ TITLE = "GtoPdb dataset versions (node/edge counts)"
 
 
 def run(
-    scale: float = 0.5, seed: int = 2016, versions: int = 10, jobs: int = 1
+    scale: float = 0.5, seed: int = 2016, versions: int = 10, config: AlignConfig | None = None
 ) -> ExperimentResult:
     store = VersionStore.shared("gtopdb", scale=scale, seed=seed, versions=versions)
     store.prepare()
@@ -32,7 +33,7 @@ def run(
             "blanks": stats.num_blanks,
         }
 
-    rows = run_sharded(version_row, range(versions), jobs=jobs)
+    rows = run_sharded(version_row, range(versions), jobs=(config.jobs if config else 1))
     rendered = render_table(
         ["version", "edges", "uris", "literals", "blanks"],
         [

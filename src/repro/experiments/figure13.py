@@ -10,6 +10,7 @@ versions 3 and 4 (the insertion burst) and nearly vanishes between 7 and 8
 
 from __future__ import annotations
 
+from ..align.config import AlignConfig
 from ..evaluation.metrics import (
     ground_truth_entity_count,
     matched_entity_count,
@@ -28,16 +29,15 @@ def run(
     scale: float = 0.5,
     seed: int = 2016,
     versions: int = 10,
-    theta: float = 0.65,
-    engine: str = "reference",
-    jobs: int = 1,
+    config: AlignConfig | None = None,
 ) -> ExperimentResult:
+    config = config or AlignConfig()
     store = VersionStore.shared("gtopdb", scale=scale, seed=seed, versions=versions)
-    store.prepare(summaries=True, csr=engine == "dense")
+    store.prepare(summaries=True, csr=config.engine == "dense")
 
     def pair_row(index: int) -> dict:
-        context = store.cell_context(index, index + 1, engine)
-        weighted, _ = store.overlap_result(index, index + 1, theta=theta, engine=engine)
+        context = store.cell_context(index, index + 1, config)
+        weighted, _ = store.overlap_result(index, index + 1, config)
         truth = store.ground_truth(index, index + 1)
         union = context.union
         return {
@@ -48,7 +48,7 @@ def run(
             "total": total_entity_count(union, truth),
         }
 
-    rows = run_sharded(pair_row, range(versions - 1), jobs=jobs)
+    rows = run_sharded(pair_row, range(versions - 1), jobs=config.jobs)
     rendered = render_table(
         ["pair", "Hybrid", "Overlap", "GtoPdb", "Total"],
         [
@@ -61,7 +61,7 @@ def run(
         title=TITLE,
         parameters={
             "scale": scale, "seed": seed, "versions": versions,
-            "theta": theta, "engine": engine,
+            "theta": config.theta, "engine": config.engine,
         },
         rows=rows,
         rendered=rendered,

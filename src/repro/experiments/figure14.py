@@ -10,6 +10,7 @@ nodes.
 
 from __future__ import annotations
 
+from ..align.config import AlignConfig
 from ..evaluation.precision import precision_counts
 from ..evaluation.reporting import render_stacked_fractions
 from .base import ExperimentResult
@@ -26,18 +27,17 @@ def run(
     scale: float = 0.5,
     seed: int = 2016,
     versions: int = 10,
-    theta: float = 0.65,
-    engine: str = "reference",
-    jobs: int = 1,
+    config: AlignConfig | None = None,
 ) -> ExperimentResult:
+    config = config or AlignConfig()
     store = VersionStore.shared("gtopdb", scale=scale, seed=seed, versions=versions)
-    store.prepare(summaries=True, csr=engine == "dense")
+    store.prepare(summaries=True, csr=config.engine == "dense")
 
     def pair_rows(index: int) -> list[dict]:
         # Union, hybrid and overlap come from the shared store: a serial
         # run after Figure 13 at the same configuration reuses its cells.
-        context = store.cell_context(index, index + 1, engine)
-        weighted, _ = store.overlap_result(index, index + 1, theta=theta, engine=engine)
+        context = store.cell_context(index, index + 1, config)
+        weighted, _ = store.overlap_result(index, index + 1, config)
         truth = store.ground_truth(index, index + 1)
         hybrid_counts = precision_counts(context.union, context.hybrid, truth)
         overlap_counts = precision_counts(context.union, weighted.partition, truth)
@@ -49,7 +49,9 @@ def run(
 
     rows = [
         row
-        for rows_of_pair in run_sharded(pair_rows, range(versions - 1), jobs=jobs)
+        for rows_of_pair in run_sharded(
+            pair_rows, range(versions - 1), jobs=config.jobs
+        )
         for row in rows_of_pair
     ]
     bars = []
@@ -66,7 +68,7 @@ def run(
         title=TITLE,
         parameters={
             "scale": scale, "seed": seed, "versions": versions,
-            "theta": theta, "engine": engine,
+            "theta": config.theta, "engine": config.engine,
         },
         rows=rows,
         rendered=rendered,

@@ -8,6 +8,7 @@ pair (versions 3→4) and finds the exact matches peak at θ = 0.65.
 
 from __future__ import annotations
 
+from ..align.config import AlignConfig
 from ..evaluation.precision import precision_counts
 from ..evaluation.reporting import render_stacked_fractions
 from .base import ExperimentResult
@@ -28,25 +29,26 @@ def run(
     thetas: tuple[float, ...] = DEFAULT_THETAS,
     source_version: int = 3,
     probe: str = "safe",
-    engine: str = "reference",
-    jobs: int = 1,
+    config: AlignConfig | None = None,
 ) -> ExperimentResult:
+    # The probe rule is part of this figure's identity (see the notes), so
+    # it stays a figure parameter and is pinned onto the incoming config;
+    # the sweep then evolves one config per theta.
+    config = (config or AlignConfig()).evolve(probe=probe)
     store = VersionStore.shared("gtopdb", scale=scale, seed=seed, versions=versions)
     pair = (source_version - 1, source_version)
     # The hybrid base is theta-independent: build it once in the parent so
     # every worker inherits it; each theta then clones the interner.
-    store.prepare(versions=pair, summaries=True, csr=engine == "dense")
-    store.cell_context(*pair, engine)
+    store.prepare(versions=pair, summaries=True, csr=config.engine == "dense")
+    store.cell_context(*pair, config)
     truth = store.ground_truth(*pair)
 
     def theta_row(theta: float) -> dict:
-        weighted, _ = store.overlap_result(
-            *pair, theta=theta, probe=probe, engine=engine
-        )
+        weighted, _ = store.overlap_result(*pair, config.evolve(theta=theta))
         counts = precision_counts(store.union(*pair), weighted.partition, truth)
         return {"theta": theta, **counts.as_dict()}
 
-    rows = run_sharded(theta_row, thetas, jobs=jobs)
+    rows = run_sharded(theta_row, thetas, jobs=config.jobs)
     bars = [
         (
             f"θ={row['theta']:.2f}",
@@ -65,7 +67,7 @@ def run(
             "thetas": list(thetas),
             "source_version": source_version,
             "probe": probe,
-            "engine": engine,
+            "engine": config.engine,
         },
         rows=rows,
         rendered=rendered,

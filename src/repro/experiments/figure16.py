@@ -8,6 +8,7 @@ overlapping nodes), concluding the methods scale.
 
 from __future__ import annotations
 
+from ..align.config import AlignConfig
 from ..core.hybrid import hybrid_partition
 from ..core.trivial import trivial_partition
 from ..evaluation.reporting import render_table
@@ -26,10 +27,10 @@ def run(
     scale: float = 0.5,
     seed: int = 30,
     versions: int = 6,
-    theta: float = 0.65,
-    engine: str = "reference",
-    jobs: int = 1,
+    config: AlignConfig | None = None,
 ) -> ExperimentResult:
+    config = config or AlignConfig()
+    theta, engine = config.theta, config.engine
     store = VersionStore.shared("dbpedia", scale=scale, seed=seed, versions=versions)
     store.prepare()
 
@@ -69,7 +70,7 @@ def run(
             "overlap_s": round(stopwatch.get("overlap", index + 1), 4),
         }
 
-    rows = run_sharded(pair_row, range(versions - 1), jobs=jobs)
+    rows = run_sharded(pair_row, range(versions - 1), jobs=config.jobs)
     rendered = render_table(
         ["pair", "nodes", "triples", "Trivial (s)", "Hybrid (s)", "Overlap (s)"],
         [

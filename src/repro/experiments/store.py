@@ -39,6 +39,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable, Sequence
 
+from ..align.config import AlignConfig
 from ..core.hybrid import hybrid_partition
 from ..core.refinement import bisim_refine_fixpoint
 from ..datasets import registry as _registry
@@ -58,6 +59,9 @@ from ..similarity.string_distance import split_words
 #: nodes are identified by their label (equal labels align trivially),
 #: blank nodes by a version-local marker resolved at cell time.
 Token = tuple
+
+#: Default alignment settings for cells whose caller passes no config.
+_DEFAULT_CONFIG = AlignConfig()
 
 #: The generator families a shared store knows how to build.
 GENERATOR_FAMILIES: dict[str, Callable] = {
@@ -556,15 +560,19 @@ class VersionStore:
         return Partition(colors)
 
     def cell_context(
-        self, source: int, target: int, engine: str = "reference"
+        self, source: int, target: int, config: AlignConfig | None = None
     ) -> CellContext:
         """Union + snapshot + composed deblank + hybrid for one pair.
 
-        Memoized per ``(pair, engine)``; the context is deterministic (a
-        fresh interner is seeded from the composed deblank partition), so
-        a forked worker recomputing it produces the exact same colors as
-        the serial run.
+        Alignment settings arrive as one
+        :class:`~repro.align.config.AlignConfig` (only its ``engine``
+        matters here).  Memoized per ``(pair, engine)``; the context is
+        deterministic (a fresh interner is seeded from the composed
+        deblank partition), so a forked worker recomputing it produces
+        the exact same colors as the serial run.
         """
+        engine = (config or _DEFAULT_CONFIG).engine
+
         def build() -> CellContext:
             union = self.union(source, target)
             csr = self.union_csr(source, target) if engine == "dense" else None
@@ -593,39 +601,43 @@ class VersionStore:
         self,
         source: int,
         target: int,
-        theta: float = 0.65,
-        probe: str = "paper",
-        engine: str = "reference",
-        splitter: Callable[[str], frozenset] = split_words,
+        config: AlignConfig | None = None,
         max_rounds: int = 100,
     ):
         """Memoized Algorithm 2 run over the pair's cell context.
 
-        Returns ``(weighted_partition, trace)``.  The run clones the
-        context's interner, so results depend only on the pair and the
-        parameters — never on which sibling theta/method ran first.
+        The run is parameterized entirely by *config* (theta, probe,
+        engine, splitter).  Returns ``(weighted_partition, trace)``.  The
+        run clones the context's interner, so results depend only on the
+        pair and the config — never on which sibling theta/method ran
+        first.
         """
+        config = config or _DEFAULT_CONFIG
+
         def build() -> tuple:
-            context = self.cell_context(source, target, engine)
+            context = self.cell_context(source, target, config)
             trace = OverlapTrace()
             weighted = overlap_partition(
                 context.union,
-                theta=theta,
+                theta=config.theta,
                 interner=context.interner.clone(),
                 base=context.hybrid,
-                probe=probe,  # type: ignore[arg-type]
+                probe=config.probe,  # type: ignore[arg-type]
                 max_rounds=max_rounds,
                 trace=trace,
-                splitter=splitter,
-                engine=engine,
+                splitter=config.splitter,
+                engine=config.engine,
                 csr=context.csr,
             )
             return (weighted, trace)
 
-        if splitter is not split_words:
+        if config.splitter is not split_words:
             # A bespoke splitter is not part of the memo key; run uncached.
             return build()
-        key = (source, target, engine, float(theta), probe, max_rounds)
+        key = (
+            source, target, config.engine, float(config.theta), config.probe,
+            max_rounds,
+        )
         return self._lru(
             self._overlaps, key, build, "overlap",
             size=self.CONTEXT_CACHE_SIZE,

@@ -1,8 +1,60 @@
-"""Serialization: N-Triples parser/serializer, Turtle writer, canonical dumps."""
+"""Serialization: N-Triples parser/serializer, Turtle reader/writer, canonical dumps."""
 
+from __future__ import annotations
+
+import os
+
+from ..model.rdf import RDFGraph
 from . import canonical, ntriples, turtle
 from .canonical import canonical_blank_labels, canonical_dumps
 from .ntriples import dump, dump_path, dumps, load, load_path, loads
+
+#: File extensions that force a format without content sniffing.
+_NTRIPLES_SUFFIXES = (".nt", ".ntriples")
+_TURTLE_SUFFIXES = (".ttl", ".turtle")
+
+#: Tokens that only occur in Turtle (N-Triples is line-per-triple, no
+#: directives, no prefixed names, no continuation punctuation).
+_TURTLE_MARKERS = ("@prefix", "@base", "PREFIX ", "BASE ")
+
+
+def sniff_format(path: str | os.PathLike, sample: str | None = None) -> str:
+    """``"ntriples"`` or ``"turtle"``, by extension then by content.
+
+    The extension wins when it is unambiguous (``.nt``/``.ntriples`` vs
+    ``.ttl``/``.turtle``); otherwise the first lines are inspected for
+    Turtle-only syntax (directives, ``;``/``,`` continuations).
+    """
+    suffix = os.path.splitext(os.fspath(path))[1].lower()
+    if suffix in _NTRIPLES_SUFFIXES:
+        return "ntriples"
+    if suffix in _TURTLE_SUFFIXES:
+        return "turtle"
+    if sample is None:
+        with open(path, "r", encoding="utf-8") as handle:
+            sample = handle.read(8192)
+    for line in sample.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.startswith(_TURTLE_MARKERS):
+            return "turtle"
+        if stripped.endswith((";", ",")):
+            return "turtle"
+    return "ntriples"
+
+
+def load_graph(path: str | os.PathLike) -> RDFGraph:
+    """Load an RDF graph from *path*, sniffing N-Triples vs Turtle.
+
+    The convenience entry point behind path arguments everywhere —
+    ``Aligner.align("old.nt", "new.ttl")`` and the CLI both route through
+    it.  See :func:`sniff_format` for the detection rules.
+    """
+    if sniff_format(path) == "turtle":
+        return turtle.load_path(path)
+    return ntriples.load_path(path)
+
 
 __all__ = [
     "canonical",
@@ -12,8 +64,10 @@ __all__ = [
     "dump_path",
     "dumps",
     "load",
+    "load_graph",
     "load_path",
     "loads",
     "ntriples",
+    "sniff_format",
     "turtle",
 ]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
 from repro import align_many, align_versions
@@ -73,10 +75,27 @@ class TestAlignVersions:
         )
 
     def test_unknown_method(self, figure3_graphs):
-        from repro.exceptions import ExperimentError
+        from repro.exceptions import ExperimentError, UnknownMethodError
 
+        # The precise new type, still catchable as the legacy one.
+        with pytest.raises(UnknownMethodError):
+            align_versions(*figure3_graphs, method="bogus")  # type: ignore[arg-type]
         with pytest.raises(ExperimentError):
             align_versions(*figure3_graphs, method="bogus")  # type: ignore[arg-type]
+
+    def test_unknown_engine(self, figure3_graphs):
+        from repro.exceptions import ExperimentError, UnknownEngineError
+
+        with pytest.raises(UnknownEngineError):
+            align_versions(*figure3_graphs, engine="sparse")  # type: ignore[arg-type]
+        with pytest.raises(ExperimentError):
+            align_versions(*figure3_graphs, engine="sparse")  # type: ignore[arg-type]
+
+    def test_theta_out_of_range(self, figure3_graphs):
+        from repro.exceptions import ThresholdError
+
+        with pytest.raises(ThresholdError):
+            align_versions(*figure3_graphs, method="overlap", theta=1.5)
 
     def test_unaligned_counts(self, figure3_graphs):
         result = align_versions(*figure3_graphs, method="trivial")
@@ -85,6 +104,40 @@ class TestAlignVersions:
 
     def test_method_order_constant(self):
         assert METHOD_ORDER == ("trivial", "deblank", "hybrid", "overlap")
+
+
+class TestDeprecatedFacade:
+    @pytest.fixture(autouse=True)
+    def fresh_warning_state(self):
+        """Reset the once-per-process latch around each test."""
+        from repro import api
+
+        previous = api._DEPRECATION_WARNED
+        api._DEPRECATION_WARNED = False
+        yield
+        api._DEPRECATION_WARNED = previous
+
+    def test_facade_warns_exactly_once(self, figure3_graphs):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            align_versions(*figure3_graphs, method="trivial")
+            align_versions(*figure3_graphs, method="trivial")
+            align_many(figure3_graphs[0], [figure3_graphs[1]], method="trivial")
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "Aligner" in str(deprecations[0].message)
+
+    def test_session_api_never_warns(self, figure3_graphs):
+        from repro.align import AlignConfig, Aligner
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            Aligner(AlignConfig(method="trivial")).align(*figure3_graphs)
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
 
 
 class TestAlignMany:
@@ -177,3 +230,54 @@ class TestCLI:
         )
         assert code == 0
         assert (tmp_path / "figure12.txt").exists()
+
+    def test_align_report_round_trips(self, version_files, tmp_path, capsys):
+        from repro.align import AlignmentReport
+
+        report_path = str(tmp_path / "report.json")
+        code = main(
+            ["align", *version_files, "--method", "hybrid", "--report", report_path]
+        )
+        assert code == 0
+        assert "wrote report" in capsys.readouterr().out
+        report = AlignmentReport.load(report_path)
+        assert report.method == "hybrid"
+        assert AlignmentReport.validate(report.to_dict()) == []
+        assert AlignmentReport.from_json(report.to_json()) == report
+
+    def test_align_baseline_method(self, version_files, tmp_path, capsys):
+        """The registry's baselines are CLI-selectable end to end."""
+        report_path = str(tmp_path / "flooding.json")
+        code = main(
+            [
+                "align",
+                *version_files,
+                "--method",
+                "similarity_flooding",
+                "--report",
+                report_path,
+            ]
+        )
+        assert code == 0
+        assert "method=similarity_flooding" in capsys.readouterr().out
+        from repro.align import AlignmentReport
+
+        report = AlignmentReport.load(report_path)
+        assert report.method == "similarity_flooding"
+        assert report.diagnostics["rounds"] >= 1
+
+    def test_align_turtle_input(self, tmp_path, figure1_graphs, capsys):
+        from repro.io import turtle
+
+        source, target = figure1_graphs
+        source_path = tmp_path / "v1.ttl"
+        target_path = tmp_path / "v2.ttl"
+        source_path.write_text(turtle.dumps(source), encoding="utf-8")
+        target_path.write_text(turtle.dumps(target), encoding="utf-8")
+        code = main(["align", str(source_path), str(target_path), "--pairs"])
+        assert code == 0
+        assert "matched_entities=" in capsys.readouterr().out
+
+    def test_align_bad_theta_reports_error(self, version_files, capsys):
+        assert main(["align", *version_files, "--theta", "1.5"]) == 1
+        assert "theta" in capsys.readouterr().err

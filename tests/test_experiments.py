@@ -173,6 +173,18 @@ class TestRunner:
         assert payload["figure"] == "Figure 12"
         assert any("shape check: OK" in note for note in results["figure12"].notes)
 
+    def test_run_experiments_probe_override_reaches_figure15(self):
+        """probe is a per-figure parameter, not a config field — a raw
+        override must reach figure15 instead of being silently eaten."""
+        results = run_experiments(
+            ["figure15"],
+            scale=0.2,
+            probe="paper",
+            thetas=(0.45, 0.65),
+            check=False,
+        )
+        assert results["figure15"].parameters["probe"] == "paper"
+
     def test_run_experiments_filters_parameters(self):
         # theta is not a figure09 parameter; it must be filtered, not crash.
         results = run_experiments(["figure09"], scale=0.2, theta=0.5, check=False)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.align import AlignConfig
 from repro.core.deblank import deblank_partition
 from repro.datasets.efo import EFOGenerator
 from repro.evaluation.matrices import pairwise_matrix
@@ -112,29 +113,34 @@ class TestPairwiseMatrixDeterminism:
 @needs_fork
 class TestFigureDeterminism:
     def test_figure10_parallel_identical(self):
-        serial = figure10.run(scale=0.12, versions=4, jobs=1)
-        parallel = figure10.run(scale=0.12, versions=4, jobs=3)
+        serial = figure10.run(scale=0.12, versions=4, config=AlignConfig(jobs=1))
+        parallel = figure10.run(scale=0.12, versions=4, config=AlignConfig(jobs=3))
         assert parallel.rows == serial.rows
         assert parallel.render() == serial.render()
 
     def test_figure13_parallel_identical(self):
-        serial = figure13.run(scale=0.2, versions=4, jobs=1)
-        parallel = figure13.run(scale=0.2, versions=4, jobs=2)
+        serial = figure13.run(scale=0.2, versions=4, config=AlignConfig(jobs=1))
+        parallel = figure13.run(scale=0.2, versions=4, config=AlignConfig(jobs=2))
         assert parallel.rows == serial.rows
         assert parallel.render() == serial.render()
 
     def test_figure13_dense_parallel_identical(self):
-        serial = figure13.run(scale=0.2, versions=4, engine="dense", jobs=1)
-        parallel = figure13.run(scale=0.2, versions=4, engine="dense", jobs=2)
+        dense = AlignConfig(engine="dense")
+        serial = figure13.run(scale=0.2, versions=4, config=dense.evolve(jobs=1))
+        parallel = figure13.run(scale=0.2, versions=4, config=dense.evolve(jobs=2))
         assert parallel.rows == serial.rows
 
     def test_figure15_parallel_identical(self):
-        serial = figure15.run(scale=0.2, versions=4, source_version=2, jobs=1)
-        parallel = figure15.run(scale=0.2, versions=4, source_version=2, jobs=3)
+        serial = figure15.run(
+            scale=0.2, versions=4, source_version=2, config=AlignConfig(jobs=1)
+        )
+        parallel = figure15.run(
+            scale=0.2, versions=4, source_version=2, config=AlignConfig(jobs=3)
+        )
         assert parallel.rows == serial.rows
         assert parallel.render() == serial.render()
 
     def test_jobs_not_in_report_parameters(self):
         """`jobs` must never leak into reports — it would break identity."""
-        result = figure10.run(scale=0.12, versions=4, jobs=2)
+        result = figure10.run(scale=0.12, versions=4, config=AlignConfig(jobs=2))
         assert "jobs" not in result.parameters

@@ -1,8 +1,11 @@
-"""Unit tests for the Turtle writer."""
+"""Unit tests for the Turtle writer, the Turtle reader and load_graph."""
 
 from __future__ import annotations
 
-from repro.io import turtle
+import pytest
+
+from repro.exceptions import ParseError
+from repro.io import load_graph, ntriples, sniff_format, turtle
 from repro.model import RDFGraph, blank, lit, uri
 from repro.model.namespaces import RDF
 
@@ -54,3 +57,119 @@ class TestTurtleWriter:
         g.add(uri("http://ex/a b"), uri("http://ex/p"), lit("x"))
         out = turtle.dumps(g, {"ex": "http://ex/"})
         assert "<http://ex/a b>" in out
+
+
+class TestTurtleReader:
+    @pytest.mark.parametrize(
+        "prefixes",
+        [None, {"ex": "http://ex/", "xsd": "http://www.w3.org/2001/XMLSchema#"}],
+    )
+    def test_writer_output_round_trips(self, prefixes):
+        graph = sample()
+        back = turtle.loads(turtle.dumps(graph, prefixes))
+        assert set(back.triples()) == set(graph.triples())
+
+    def test_escapes_round_trip(self):
+        g = RDFGraph()
+        g.add(uri("http://ex/a"), uri("http://ex/p"), lit('tab\t "quote" \\ nl\n'))
+        back = turtle.loads(turtle.dumps(g))
+        assert set(back.triples()) == set(g.triples())
+
+    def test_object_lists_and_comments(self):
+        graph = turtle.loads(
+            """
+            @prefix ex: <http://ex/> .
+            # a comment
+            ex:a ex:p "one", "two" ;
+                a ex:Thing .
+            _:z ex:q <http://abs/iri> .
+            """
+        )
+        triples = set(graph.triples())
+        assert (uri("http://ex/a"), uri("http://ex/p"), lit("one")) in triples
+        assert (uri("http://ex/a"), uri("http://ex/p"), lit("two")) in triples
+        assert (uri("http://ex/a"), RDF["type"], uri("http://ex/Thing")) in triples
+        assert (blank("z"), uri("http://ex/q"), uri("http://abs/iri")) in triples
+
+    def test_base_resolution(self):
+        graph = turtle.loads(
+            "@base <http://ex/> .\n<a> <p> <http://other/x> .\n"
+        )
+        triples = set(graph.triples())
+        assert (uri("http://ex/a"), uri("http://ex/p"), uri("http://other/x")) in triples
+
+    def test_sparql_style_directives(self):
+        graph = turtle.loads(
+            "PREFIX ex: <http://ex/>\nex:a ex:p ex:b .\n"
+        )
+        assert (uri("http://ex/a"), uri("http://ex/p"), uri("http://ex/b")) in set(
+            graph.triples()
+        )
+
+    @pytest.mark.parametrize("label", ["prefix", "base", "PREFIX", "Base"])
+    def test_prefix_label_named_like_a_directive(self, label):
+        """`prefix:x` as a subject is a prefixed name, not a directive."""
+        graph = turtle.loads(
+            f"@prefix {label}: <http://ex/> .\n"
+            f"{label}:x {label}:p {label}:y .\n"
+        )
+        assert (uri("http://ex/x"), uri("http://ex/p"), uri("http://ex/y")) in set(
+            graph.triples()
+        )
+
+    def test_undeclared_prefix_rejected(self):
+        with pytest.raises(ParseError):
+            turtle.loads("ex:a ex:p ex:b .")
+
+    def test_unsupported_syntax_rejected(self):
+        with pytest.raises(ParseError):
+            turtle.loads("@prefix ex: <http://ex/> .\nex:a ex:p [ ex:q ex:b ] .")
+
+    def test_unterminated_literal_rejected(self):
+        with pytest.raises(ParseError):
+            turtle.loads('@prefix ex: <http://ex/> .\nex:a ex:p "oops .')
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            turtle.loads('<http://ex/a> "p" <http://ex/b> .')
+
+
+class TestLoadGraph:
+    @pytest.fixture
+    def files(self, tmp_path):
+        graph = sample()
+        nt = tmp_path / "g.nt"
+        ttl = tmp_path / "g.ttl"
+        mystery_turtle = tmp_path / "g1.rdf"
+        mystery_ntriples = tmp_path / "g2.rdf"
+        ntriples.dump_path(graph, nt)
+        ttl.write_text(turtle.dumps(graph, {"ex": "http://ex/"}), encoding="utf-8")
+        mystery_turtle.write_text(ttl.read_text(encoding="utf-8"), encoding="utf-8")
+        mystery_ntriples.write_text(nt.read_text(encoding="utf-8"), encoding="utf-8")
+        return graph, {
+            "nt": nt,
+            "ttl": ttl,
+            "mystery_turtle": mystery_turtle,
+            "mystery_ntriples": mystery_ntriples,
+        }
+
+    def test_sniff_format(self, files):
+        _, paths = files
+        assert sniff_format(paths["nt"]) == "ntriples"
+        assert sniff_format(paths["ttl"]) == "turtle"
+        assert sniff_format(paths["mystery_turtle"]) == "turtle"
+        assert sniff_format(paths["mystery_ntriples"]) == "ntriples"
+
+    def test_load_graph_all_formats(self, files):
+        graph, paths = files
+        for path in paths.values():
+            assert set(load_graph(path).triples()) == set(graph.triples())
+
+    def test_aligner_accepts_turtle_paths(self, files):
+        from repro.align import AlignConfig, Aligner
+
+        _, paths = files
+        result = Aligner(AlignConfig(method="hybrid")).align(
+            paths["nt"], paths["ttl"]
+        )
+        assert result.unaligned_counts() == (0, 0)

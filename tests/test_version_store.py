@@ -15,6 +15,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.align import AlignConfig
 from repro.core.deblank import deblank_partition
 from repro.core.hybrid import hybrid_partition
 from repro.core.trivial import trivial_partition
@@ -202,7 +203,7 @@ class TestCellContext:
         generator, store = gtopdb
         union, _ = generator.combined(0, 1)
         legacy = hybrid_partition(union, ColorInterner(), engine=engine)
-        context = store.cell_context(0, 1, engine)
+        context = store.cell_context(0, 1, AlignConfig(engine=engine))
         assert context.hybrid.equivalent_to(legacy)
 
     @pytest.mark.parametrize("engine", ["reference", "dense"])
@@ -219,7 +220,9 @@ class TestCellContext:
             engine=engine,
             csr=csr,
         )
-        weighted, trace = store.overlap_result(1, 2, theta=0.65, engine=engine)
+        weighted, trace = store.overlap_result(
+            1, 2, AlignConfig(theta=0.65, engine=engine)
+        )
         assert weighted.partition.equivalent_to(legacy.partition)
         assert trace.total_rounds >= 1
 
@@ -244,11 +247,11 @@ class TestCellContext:
     def test_overlap_result_does_not_disturb_siblings(self, gtopdb):
         """Different thetas over one context give theta-pure results."""
         _, store = gtopdb
-        low_first, _ = store.overlap_result(0, 1, theta=0.45)
-        high, _ = store.overlap_result(0, 1, theta=0.95)
+        low_first, _ = store.overlap_result(0, 1, AlignConfig(theta=0.45))
+        high, _ = store.overlap_result(0, 1, AlignConfig(theta=0.95))
         # Recompute theta=0.45 on a fresh store: identical match structure.
         fresh = VersionStore(store.generator)
-        low_fresh, _ = fresh.overlap_result(0, 1, theta=0.45)
+        low_fresh, _ = fresh.overlap_result(0, 1, AlignConfig(theta=0.45))
         assert low_first.partition.equivalent_to(low_fresh.partition)
 
 
