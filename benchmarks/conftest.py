@@ -9,7 +9,6 @@ asserts the paper's qualitative shape and saves the rendered report under
 
 from __future__ import annotations
 
-import json
 import pathlib
 
 import pytest
@@ -25,31 +24,28 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
-def record_bench(name: str, seconds: float, speedup: float | None = None) -> None:
+def record_bench(name: str, seconds: float, speedup: float | None = None) -> bool:
     """Append one machine-readable measurement to ``results/bench.json``.
 
     The file is the seed of the performance trajectory (one entry per
     benchmark per run): ``[{"name", "seconds", "speedup"}, ...]``.
     ``speedup`` is the measured ratio for comparison benches and ``null``
     for plain timings.
+
+    The append is best-effort by contract: a missing, corrupt or
+    wrong-shaped ``bench.json`` (non-list JSON, non-dict entries, even a
+    directory squatting on the path) is replaced by a fresh list, and an
+    unreadable/unwritable target returns ``False`` instead of raising —
+    a timing side channel must never crash the bench session producing
+    it.  The tolerant append itself lives in the dependency-free
+    :mod:`repro.benchlog`, shared with the differential oracle's CI
+    entry point.
     """
-    RESULTS_DIR.mkdir(exist_ok=True)
-    entries: list[dict] = []
-    if BENCH_JSON.exists():
-        try:
-            entries = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
-        except ValueError:
-            entries = []
-    entries.append(
-        {
-            "name": name,
-            "seconds": round(float(seconds), 6),
-            "speedup": None if speedup is None else round(float(speedup), 3),
-        }
-    )
-    BENCH_JSON.write_text(
-        json.dumps(entries, indent=2) + "\n", encoding="utf-8"
-    )
+    try:
+        from repro.benchlog import append_bench_entry
+    except Exception:  # even an import failure must not kill the session
+        return False
+    return append_bench_entry(BENCH_JSON, name, seconds, speedup)
 
 
 @pytest.fixture(autouse=True)

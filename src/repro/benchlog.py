@@ -1,0 +1,52 @@
+"""Tolerant append to ``results/bench.json``-style timing logs.
+
+Dependency-free on purpose: both the benchmark harness
+(``benchmarks/conftest.py::record_bench``) and the differential
+oracle's CI entry point (:mod:`repro.testing.differential`) append to
+the same performance-trajectory file, and a timing side channel must
+never be able to crash the session producing it — so this module
+imports nothing but the standard library, and the append treats every
+form of bad state (missing file, corrupt JSON, wrong shape, directory
+squatting on the path, unwritable target) as recoverable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+def append_bench_entry(
+    path: str | os.PathLike, name: str, seconds: float,
+    speedup: float | None = None,
+) -> bool:
+    """Append one ``{"name", "seconds", "speedup"}`` row to *path*.
+
+    A missing, corrupt or wrong-shaped file is replaced by a fresh list
+    (non-dict entries are dropped), and an unreadable/unwritable target
+    is reported by returning ``False`` rather than raised.
+    """
+    entries: list = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        if isinstance(loaded, list):
+            entries = [entry for entry in loaded if isinstance(entry, dict)]
+    except (OSError, ValueError):
+        pass
+    entries.append(
+        {
+            "name": name,
+            "seconds": round(float(seconds), 6),
+            "speedup": None if speedup is None else round(float(speedup), 3),
+        }
+    )
+    try:
+        parent = os.path.dirname(os.fspath(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(entries, indent=2) + "\n")
+    except OSError:
+        return False
+    return True

@@ -10,6 +10,10 @@ Subcommands
     Node/edge statistics of an RDF file.
 ``generate``
     Write a version of one of the synthetic datasets as N-Triples.
+``synth``
+    Generate a seeded synthetic evolution history (shape + mutation
+    operators), write every version as N-Triples plus a manifest, and
+    optionally run the differential oracle on it (``--check``).
 ``experiment``
     Run paper-figure experiments and save reports.
 
@@ -30,6 +34,7 @@ from typing import Sequence
 from . import __version__
 from .align import AlignConfig, Aligner, method_names, method_order
 from .align.config import PROBE_RULES, SPLITTERS
+from .datasets.synthetic import SHAPES, SyntheticConfig, SyntheticGenerator
 from .exceptions import ReproError
 
 
@@ -113,6 +118,53 @@ def _build_parser() -> argparse.ArgumentParser:
     generate_cmd.add_argument("--scale", type=float, default=0.5)
     generate_cmd.add_argument("--seed", type=int, default=None)
     generate_cmd.add_argument("--out", required=True, help="output .nt path")
+
+    synth_cmd = commands.add_parser(
+        "synth",
+        help="generate a seeded synthetic evolution history (multi-version)",
+    )
+    synth_cmd.add_argument(
+        "--seed", type=int, default=None, help="generator seed (default 7)"
+    )
+    synth_cmd.add_argument(
+        "--shape",
+        choices=SHAPES,
+        default=None,
+        help="base-graph shape of the history (default erdos_renyi)",
+    )
+    synth_cmd.add_argument(
+        "--versions", type=int, default=None, help="history length (default 4)"
+    )
+    synth_cmd.add_argument("--scale", type=float, default=None)
+    synth_cmd.add_argument(
+        "--entities", type=int, default=None, help="entity count at scale 1.0"
+    )
+    synth_cmd.add_argument(
+        "--blank-density", type=float, default=None, help="blank-node fraction"
+    )
+    synth_cmd.add_argument(
+        "--literal-noise",
+        type=float,
+        default=None,
+        help="per-step fraction of literals replaced wholesale",
+    )
+    synth_cmd.add_argument(
+        "--config",
+        default=None,
+        help="load a full SyntheticConfig from this JSON file (e.g. a CI "
+        "differential artifact); explicit flags override its fields",
+    )
+    synth_cmd.add_argument(
+        "--out",
+        default="results/synthetic",
+        help="output directory for the version files and manifest",
+    )
+    synth_cmd.add_argument(
+        "--check",
+        action="store_true",
+        help="run the differential oracle on the generated history "
+        "(every registered method x engine x jobs)",
+    )
 
     experiment_cmd = commands.add_parser("experiment", help="run paper-figure experiments")
     experiment_cmd.add_argument(
@@ -230,6 +282,89 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_synth(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .datasets.synthetic import history_stats
+    from .io import ntriples
+
+    overrides = {
+        key: getattr(args, key)
+        for key in (
+            "seed", "shape", "versions", "scale", "entities",
+        )
+        if getattr(args, key) is not None
+    }
+    if args.blank_density is not None:
+        overrides["blank_density"] = args.blank_density
+    if args.literal_noise is not None:
+        overrides["literal_noise"] = args.literal_noise
+    if args.config:
+        from .exceptions import ConfigError
+
+        with open(args.config, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except ValueError as error:
+                raise ConfigError(
+                    f"--config {args.config} is not JSON: {error}"
+                ) from None
+        # A differential artifact nests the config; a bare config is flat.
+        if isinstance(payload, dict):
+            payload = payload.get("config", payload)
+        config = SyntheticConfig.from_dict(payload)
+        config = config.evolve(**overrides)
+    else:
+        config = SyntheticConfig(**overrides)
+
+    generator = SyntheticGenerator.shared(config)
+    os.makedirs(args.out, exist_ok=True)
+    files = []
+    for index in range(config.versions):
+        name = f"{config.shape}-seed{config.seed}-v{index + 1}.nt"
+        path = os.path.join(args.out, name)
+        ntriples.dump_path(generator.graph(index), path)
+        files.append(name)
+    manifest = {
+        "schema": "repro/synthetic-manifest",
+        "version": 1,
+        "config": config.to_dict(),
+        "files": files,
+        "stats": history_stats(generator),
+        "ground_truth_sizes": [
+            len(generator.ground_truth(index, index + 1))
+            for index in range(config.versions - 1)
+        ],
+    }
+    manifest_path = os.path.join(args.out, "manifest.json")
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    for row, name in zip(manifest["stats"], files):
+        print(
+            f"wrote {os.path.join(args.out, name)} "
+            f"({row['edges']} triples, {row['nodes']} nodes, "
+            f"{row['blanks']} blanks)"
+        )
+    print(f"wrote manifest to {manifest_path}")
+    if args.check:
+        from .testing.differential import run_differential
+
+        report = run_differential(config, name=f"synth-{config.shape}")
+        print(report.summary())
+        if not report.ok:
+            for divergence in report.divergences:
+                print("  " + divergence.render())
+            artifact = os.path.join(args.out, "differential-failure.json")
+            with open(artifact, "w", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+                )
+            print(f"differential artifact written to {artifact}")
+            return 1
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     from .experiments.runner import run_experiments
 
@@ -266,6 +401,7 @@ _COMMANDS = {
     "delta": _command_delta,
     "stats": _command_stats,
     "generate": _command_generate,
+    "synth": _command_synth,
     "experiment": _command_experiment,
 }
 

@@ -12,7 +12,22 @@ from .mutations import (
     make_name,
     sample_fraction,
 )
-from .registry import clear_shared_generators, shared_generator, shared_generator_count
+from .registry import (
+    clear_shared_generators,
+    shared_generator,
+    shared_generator_count,
+    shared_instance,
+)
+from .synthetic import (
+    MUTATIONS,
+    SCENARIOS,
+    SHAPE_FAMILIES,
+    SHAPES,
+    SyntheticConfig,
+    SyntheticFamily,
+    SyntheticGenerator,
+    relabel_uris,
+)
 
 __all__ = [
     "DBpediaCategoryGenerator",
@@ -22,7 +37,14 @@ __all__ = [
     "GroundTruth",
     "GtoPdbConfig",
     "GtoPdbGenerator",
+    "MUTATIONS",
     "OntologyClass",
+    "SCENARIOS",
+    "SHAPES",
+    "SHAPE_FAMILIES",
+    "SyntheticConfig",
+    "SyntheticFamily",
+    "SyntheticGenerator",
     "clear_shared_generators",
     "curation_edit",
     "edit_typo",
@@ -30,7 +52,9 @@ __all__ = [
     "gtopdb_schema",
     "make_identifier",
     "make_name",
+    "relabel_uris",
     "sample_fraction",
     "shared_generator",
     "shared_generator_count",
+    "shared_instance",
 ]

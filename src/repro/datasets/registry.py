@@ -38,6 +38,25 @@ def register_clear_hook(hook: Callable[[], None]) -> None:
         _CLEAR_HOOKS.append(hook)
 
 
+def shared_instance(key: tuple, factory: Callable[[], Generator]) -> Generator:
+    """The process-wide instance memoized under *key*.
+
+    The general entry point behind :func:`shared_generator`: generators
+    whose identity is richer than ``(scale, seed, versions)`` — the
+    synthetic workloads key on their entire
+    :class:`~repro.datasets.synthetic.SyntheticConfig` — register here
+    directly.  *key* must be hashable and must fully determine the
+    generated history; *factory* is invoked (under the registry lock)
+    only on the first request.
+    """
+    with _LOCK:
+        generator = _GENERATORS.get(key)
+        if generator is None:
+            generator = factory()
+            _GENERATORS[key] = generator
+        return generator
+
+
 def shared_generator(
     factory: Callable[..., Generator],
     scale: float,
@@ -49,15 +68,14 @@ def shared_generator(
     *factory* is one of the generator classes; the instance is created on
     first request and returned for every later request with the same
     configuration.  Custom ``config=`` objects are deliberately not
-    supported here — a bespoke configuration should own its generator.
+    supported here — a bespoke configuration keys on its full config via
+    :func:`shared_instance` (as the synthetic generators do) or owns its
+    generator outright.
     """
     key = (factory.__qualname__, float(scale), int(seed), int(versions))
-    with _LOCK:
-        generator = _GENERATORS.get(key)
-        if generator is None:
-            generator = factory(scale=scale, seed=seed, versions=versions)
-            _GENERATORS[key] = generator
-        return generator
+    return shared_instance(
+        key, lambda: factory(scale=scale, seed=seed, versions=versions)
+    )
 
 
 def clear_shared_generators() -> None:

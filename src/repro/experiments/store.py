@@ -46,6 +46,7 @@ from ..datasets import registry as _registry
 from ..datasets.dbpedia import DBpediaCategoryGenerator
 from ..datasets.efo import EFOGenerator
 from ..datasets.gtopdb import GtoPdbGenerator
+from ..datasets.synthetic import SHAPE_FAMILIES
 from ..exceptions import ExperimentError
 from ..model.csr import CSRGraph
 from ..model.graph import NodeId, TripleGraph
@@ -63,11 +64,16 @@ Token = tuple
 #: Default alignment settings for cells whose caller passes no config.
 _DEFAULT_CONFIG = AlignConfig()
 
-#: The generator families a shared store knows how to build.
+#: The generator families a shared store knows how to build.  The
+#: synthetic shapes are first-class members: ``VersionStore.shared(
+#: "synthetic_scale_free", ...)`` memoizes exactly like the curated
+#: datasets, so the parallel runner's fork-time preparation works
+#: unchanged on generated histories.
 GENERATOR_FAMILIES: dict[str, Callable] = {
     "efo": EFOGenerator,
     "gtopdb": GtoPdbGenerator,
     "dbpedia": DBpediaCategoryGenerator,
+    **SHAPE_FAMILIES,
 }
 
 

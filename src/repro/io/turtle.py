@@ -147,6 +147,10 @@ class _Scanner:
         if end < 0:
             raise self.error("unterminated IRI")
         raw = self.text[self.pos:end]
+        if "\n" in raw:
+            # An IRIREF cannot span lines; without this check a missing
+            # ">" would silently swallow the following statements.
+            raise self.error("unterminated IRI (newline before '>')")
         self.pos = end + 1
         return self._unescape(raw)
 

@@ -1,0 +1,40 @@
+"""Generated-scenario test harnesses (differential oracle).
+
+This package keeps the four interchangeable execution paths honest —
+reference/dense engines × serial/parallel jobs × every registered
+method — by running them all on synthetic scenarios
+(:mod:`repro.datasets.synthetic`) and asserting cross-cutting
+invariants.  See :mod:`repro.testing.differential` (also runnable as
+``python -m repro.testing.differential``).
+
+The submodule is loaded lazily so that ``python -m
+repro.testing.differential`` does not import it twice (once as a
+package attribute, once as ``__main__``'s target).
+"""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .differential import (  # noqa: F401
+        DifferentialReport,
+        Divergence,
+        Refusal,
+        run_differential,
+        run_scenarios,
+    )
+
+__all__ = [
+    "DifferentialReport",
+    "Divergence",
+    "Refusal",
+    "run_differential",
+    "run_scenarios",
+]
+
+
+def __getattr__(name: str):
+    if name in __all__:
+        from . import differential
+
+        return getattr(differential, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

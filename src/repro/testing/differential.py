@@ -1,0 +1,635 @@
+"""Cross-engine / cross-jobs differential oracle over synthetic scenarios.
+
+The system has four interchangeable execution paths — reference/dense
+engines × serial/parallel jobs × legacy facade/session API — whose
+equivalence used to be pinned only on hand-built fixtures.  This module
+runs **every registered method** on a generated multi-version history
+(:mod:`repro.datasets.synthetic`) across engines and job counts and
+asserts the cross-cutting invariants:
+
+* **engine parity** — the reference and dense engines produce
+  byte-identical reports (modulo the ``engine`` marker itself);
+* **jobs determinism** — sharding the version pairs over worker
+  processes (:func:`repro.experiments.parallel.run_sharded`) yields
+  byte-identical report JSON to the serial run, for every jobs count;
+* **well-formedness** — alignments are structurally sound (pairs lie in
+  the version sides, matched/unaligned sets are consistent, stats add
+  up) and respect the generator's carried ground truth: a ground-truth
+  pair whose two terms are label-equal must be aligned by every
+  hierarchy method (label equality is the floor of the paper's method
+  chain);
+* **hierarchy containment** — the paper's ``trivial ⊆ deblank ⊆ hybrid
+  ⊆ overlap`` alignment chain holds on every pair (per the registry's
+  ``finer_than`` edges);
+* **theta monotonicity** — raising the overlap threshold never invents
+  literal matches: the literal round's match count (against the
+  theta-independent hybrid base, with the recall-complete ``"safe"``
+  probe) is non-increasing along the theta sweep — the final alignment
+  itself is legitimately non-monotone (paper Figure 15);
+* **report round-trip** — every produced
+  :class:`~repro.align.report.AlignmentReport` survives
+  ``from_json(to_json())`` exactly;
+* **no crashes** — a deliberate :class:`~repro.exceptions.ReproError`
+  refusal is legitimate when consistent across paths, but any other
+  exception in any method × engine cell is captured as a ``crash``
+  divergence (the sweep still completes and the artifact is written).
+
+Every failure is a :class:`Divergence` carrying the scenario config, so
+CI can upload ``{seed, config}`` JSON artifacts from which the exact
+case is rebuilt (``rdf-align synth --config artifact.json --check``;
+see ``docs/synthetic.md``).
+
+Run the pinned seed matrix from the command line::
+
+    python -m repro.testing.differential --out results/differential
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..align import AlignConfig, Aligner, AlignmentReport, get_method, refines
+from ..align.registry import method_names, method_order
+from ..benchlog import append_bench_entry  # noqa: F401  (re-exported; CI uses it)
+from ..datasets.synthetic import SCENARIOS, SyntheticConfig, SyntheticGenerator
+from ..exceptions import ReproError
+from ..experiments.parallel import run_sharded
+
+#: Default theta sweep of the monotonicity check (coarse on purpose —
+#: the oracle's job is ordering, not the Figure 15 curve).
+DEFAULT_THETAS: tuple[float, ...] = (0.35, 0.65, 0.95)
+
+#: Default job counts the determinism check compares against serial.
+DEFAULT_JOBS: tuple[int, ...] = (1, 2)
+
+#: Default engines; every registered method must agree across them.
+DEFAULT_ENGINES: tuple[str, ...] = ("reference", "dense")
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One invariant violation, tied to the scenario that exposed it."""
+
+    scenario: str
+    invariant: str
+    method: str
+    detail: str
+    pair: tuple[int, int] | None = None
+
+    def render(self) -> str:
+        where = f" pair={self.pair}" if self.pair is not None else ""
+        return (
+            f"[{self.scenario}] {self.invariant} method={self.method}"
+            f"{where}: {self.detail}"
+        )
+
+
+@dataclass
+class DifferentialReport:
+    """The outcome of one scenario's full method × engine × jobs sweep."""
+
+    scenario: str
+    config: SyntheticConfig
+    methods: tuple[str, ...]
+    engines: tuple[str, ...]
+    jobs: tuple[int, ...]
+    pairs: tuple[tuple[int, int], ...]
+    cells: int = 0
+    refusals: int = 0
+    generate_seconds: float = 0.0
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.divergences)} divergence(s)"
+        refused = f", {self.refusals} refusal(s)" if self.refusals else ""
+        return (
+            f"{self.scenario}: {status} "
+            f"({len(self.methods)} methods x {len(self.engines)} engines x "
+            f"jobs {list(self.jobs)}, {len(self.pairs)} pairs, "
+            f"{self.cells} cells{refused})"
+        )
+
+    def to_dict(self) -> dict:
+        """The CI artifact payload: seed + config + what diverged."""
+        return {
+            "schema": "repro/differential-report",
+            "version": 1,
+            "scenario": self.scenario,
+            "seed": self.config.seed,
+            "config": self.config.to_dict(),
+            "methods": list(self.methods),
+            "engines": list(self.engines),
+            "jobs": list(self.jobs),
+            "pairs": [list(pair) for pair in self.pairs],
+            "cells": self.cells,
+            "refusals": self.refusals,
+            "ok": self.ok,
+            "divergences": [
+                {
+                    "invariant": d.invariant,
+                    "method": d.method,
+                    "pair": list(d.pair) if d.pair else None,
+                    "detail": d.detail,
+                }
+                for d in self.divergences
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class Refusal:
+    """A method declining an input with a :class:`~repro.exceptions.
+    ReproError` (e.g. label invention on cyclic blanks).
+
+    A *consistent* refusal — same error type and message on every
+    engine and jobs count — is a legitimate differential outcome; only
+    path-dependent refusals are divergences.  ``expected=False`` marks
+    an arbitrary exception instead of a deliberate ``ReproError``: that
+    is a crash, always a divergence — but captured as a marker so the
+    oracle still finishes the sweep and writes the ``{seed, config}``
+    artifact the reproduction workflow depends on.
+    """
+
+    error_type: str
+    message: str
+    expected: bool = True
+
+    def render(self) -> str:
+        prefix = "REFUSED" if self.expected else "CRASHED"
+        return f"{prefix} {self.error_type}: {self.message}"
+
+
+def _run_cell(config: AlignConfig, source, target):
+    """One alignment cell: a result object, or the method's Refusal."""
+    try:
+        return Aligner(config).align(source, target)
+    except ReproError as error:
+        return Refusal(type(error).__name__, str(error))
+    except Exception as error:  # the oracle must report crashes, not die
+        return Refusal(type(error).__name__, str(error), expected=False)
+
+
+def _parity_bytes(report: AlignmentReport) -> str:
+    """The report JSON with the ``engine`` marker removed.
+
+    Engines must agree on everything else byte-for-byte; the marker
+    itself legitimately differs, so it is excluded from the comparison.
+    """
+    if isinstance(report, Refusal):
+        return report.render()
+    payload = report.to_dict()
+    payload.pop("engine", None)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _render_node(graph, node) -> str:
+    return repr(graph.original(node))
+
+
+class _ScenarioOracle:
+    """One scenario's checks (kept as a class so helpers share state)."""
+
+    def __init__(
+        self,
+        name: str,
+        config: SyntheticConfig,
+        methods: Sequence[str],
+        engines: Sequence[str],
+        jobs: Sequence[int],
+        thetas: Sequence[float],
+        shared: bool,
+    ) -> None:
+        self.report = DifferentialReport(
+            scenario=name,
+            config=config,
+            methods=tuple(methods),
+            engines=tuple(engines),
+            jobs=tuple(int(j) for j in jobs),
+            pairs=tuple(
+                (index, index + 1) for index in range(config.versions - 1)
+            ),
+        )
+        self.thetas = tuple(sorted(float(t) for t in thetas))
+        started = time.perf_counter()
+        if shared:
+            self.generator = SyntheticGenerator.shared(config)
+        else:
+            self.generator = SyntheticGenerator(config=config)
+        self.graphs = self.generator.graphs()
+        self.report.generate_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    def _diverge(
+        self, invariant: str, method: str, detail: str,
+        pair: tuple[int, int] | None = None,
+    ) -> None:
+        self.report.divergences.append(
+            Divergence(
+                scenario=self.report.scenario,
+                invariant=invariant,
+                method=method,
+                detail=detail,
+                pair=pair,
+            )
+        )
+
+    def _results(self, method: str, engine: str) -> list:
+        """Serial per-pair outcomes (results or :class:`Refusal` markers)."""
+        config = AlignConfig(method=method, engine=engine)
+        return [
+            _run_cell(config, self.graphs[s], self.graphs[t])
+            for s, t in self.report.pairs
+        ]
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def check_jobs_determinism(self, method: str, engine: str,
+                               baseline: list[str]) -> None:
+        """Sharded runs must reproduce the serial report bytes exactly."""
+        config = AlignConfig(method=method, engine=engine)
+        graphs = self.graphs
+        pairs = self.report.pairs
+
+        def cell(pair: tuple[int, int]) -> str:
+            outcome = _run_cell(config, graphs[pair[0]], graphs[pair[1]])
+            if isinstance(outcome, Refusal):
+                return outcome.render()
+            return outcome.report(config).to_json()
+
+        for jobs in self.report.jobs:
+            if jobs <= 1:
+                # The serial *baseline* already is the jobs=1 run —
+                # run_sharded short-circuits jobs<=1 to the identical
+                # in-process loop, so re-running it would compare the
+                # computation against itself.
+                continue
+            sharded = run_sharded(cell, pairs, jobs=jobs)
+            for index, (expected, got) in enumerate(zip(baseline, sharded)):
+                if expected != got:
+                    self._diverge(
+                        "jobs_determinism", method,
+                        f"jobs={jobs} engine={engine} report differs from "
+                        f"serial run",
+                        pair=pairs[index],
+                    )
+
+    def check_engine_parity(self, method: str,
+                            by_engine: dict[str, list]) -> None:
+        reference_engine = self.report.engines[0]
+        baseline = by_engine[reference_engine]
+        for engine in self.report.engines[1:]:
+            for index, (first, second) in enumerate(
+                zip(baseline, by_engine[engine])
+            ):
+                if _parity_bytes(first) != _parity_bytes(second):
+                    self._diverge(
+                        "engine_parity", method,
+                        f"engines {reference_engine!r} and {engine!r} "
+                        f"disagree byte-wise",
+                        pair=self.report.pairs[index],
+                    )
+
+    def check_well_formedness(self, method: str, engine: str,
+                              results: list) -> None:
+        """Structural soundness + carried-ground-truth consistency."""
+        spec = get_method(method)
+        for index, result in enumerate(results):
+            pair = self.report.pairs[index]
+            if isinstance(result, Refusal):
+                continue
+            graph = result.graph
+            alignment = result.alignment
+            pairs = set(alignment.pairs())
+            bad_sides = [
+                (s, t) for s, t in pairs
+                if s not in graph.source_nodes or t not in graph.target_nodes
+            ]
+            if bad_sides:
+                self._diverge(
+                    "well_formedness", method,
+                    f"{len(bad_sides)} aligned pair(s) outside the version "
+                    f"sides (engine={engine})",
+                    pair=pair,
+                )
+            matched_sources = {s for s, _ in pairs}
+            matched_targets = {t for _, t in pairs}
+            if matched_sources & alignment.unaligned_source():
+                self._diverge(
+                    "well_formedness", method,
+                    f"nodes both matched and unaligned on the source side "
+                    f"(engine={engine})",
+                    pair=pair,
+                )
+            if matched_targets & alignment.unaligned_target():
+                self._diverge(
+                    "well_formedness", method,
+                    f"nodes both matched and unaligned on the target side "
+                    f"(engine={engine})",
+                    pair=pair,
+                )
+            # Carried ground truth: label-equal persistent entities are the
+            # floor of the method chain — every hierarchy method must align
+            # them (baselines sit outside the hierarchy contract).
+            if spec.baseline:
+                continue
+            truth = self.generator.ground_truth(*pair)
+            labels = graph.labels()
+            blanks = graph.blanks()
+            for source_node, target_node in truth.combined_pairs(graph):
+                if source_node in blanks or target_node in blanks:
+                    continue  # blanks share one label sentinel, not a name
+                if labels[source_node] != labels[target_node]:
+                    continue  # renamed entity — above the trivial floor
+                if not alignment.aligned(source_node, target_node):
+                    self._diverge(
+                        "well_formedness", method,
+                        f"label-equal ground-truth pair "
+                        f"{_render_node(graph, source_node)} ≙ "
+                        f"{_render_node(graph, target_node)} left unaligned "
+                        f"(engine={engine})",
+                        pair=pair,
+                    )
+                    break
+
+    def check_hierarchy(self, engine: str,
+                        results_by_method: dict[str, list]) -> None:
+        """Paper §3.4/§4.7: coarser methods' alignments are contained."""
+        order = [m for m in method_order() if m in results_by_method]
+        for coarser, finer in zip(order, order[1:]):
+            if not refines(finer, coarser):
+                continue
+            for index, (coarse, fine) in enumerate(
+                zip(results_by_method[coarser], results_by_method[finer])
+            ):
+                if isinstance(coarse, Refusal) or isinstance(fine, Refusal):
+                    continue
+                missing = set(coarse.alignment.pairs()) - set(
+                    fine.alignment.pairs()
+                )
+                if missing:
+                    self._diverge(
+                        "hierarchy", finer,
+                        f"{len(missing)} pair(s) aligned by {coarser!r} but "
+                        f"not by {finer!r} (engine={engine})",
+                        pair=self.report.pairs[index],
+                    )
+
+    def check_theta_monotonicity(self, engine: str) -> None:
+        """Raising theta must never grow the literal-round match count.
+
+        Only the *first* (literal) round is provably monotone: it matches
+        against the theta-independent hybrid base, so a stricter theta can
+        only admit a subset of pairs.  The final alignment is genuinely
+        non-monotone (the paper's Figure 15 exact-match curve peaks
+        mid-range — enrichment and re-refinement interact), and the
+        ``"paper"`` ⌈kθ⌉ probe is recall-incomplete below θ = 0.5, so the
+        check runs the recall-complete ``"safe"`` probe.
+        """
+        if "overlap" not in self.report.methods:
+            return
+        for pair in self.report.pairs:
+            counts = []
+            for theta in self.thetas:
+                config = AlignConfig(
+                    method="overlap", engine=engine, theta=theta, probe="safe"
+                )
+                result = _run_cell(config, self.graphs[pair[0]], self.graphs[pair[1]])
+                self.report.cells += 1
+                if isinstance(result, Refusal):
+                    self._diverge(
+                        "theta_monotonicity", "overlap",
+                        f"overlap refused at θ={theta}: {result.render()} "
+                        f"(engine={engine})",
+                        pair=pair,
+                    )
+                    break
+                counts.append(result.trace.literal_matches)
+            for (low, low_count), (high, high_count) in zip(
+                zip(self.thetas, counts), zip(self.thetas[1:], counts[1:])
+            ):
+                if high_count > low_count:
+                    self._diverge(
+                        "theta_monotonicity", "overlap",
+                        f"literal matches grew from {low_count} (θ={low}) to "
+                        f"{high_count} (θ={high}) (engine={engine})",
+                        pair=pair,
+                    )
+
+    def check_report_roundtrip(self, method: str,
+                               reports: Iterable[AlignmentReport]) -> None:
+        for index, report in enumerate(reports):
+            if isinstance(report, Refusal):
+                continue
+            problems = AlignmentReport.validate(report.to_dict())
+            if problems:
+                self._diverge(
+                    "report_roundtrip", method,
+                    f"schema violations: {problems}",
+                    pair=self.report.pairs[index],
+                )
+                continue
+            if AlignmentReport.from_json(report.to_json()) != report:
+                self._diverge(
+                    "report_roundtrip", method,
+                    "from_json(to_json()) is not the identity",
+                    pair=self.report.pairs[index],
+                )
+
+    # ------------------------------------------------------------------
+    def run(self) -> DifferentialReport:
+        all_results: dict[str, dict[str, list]] = {
+            engine: {} for engine in self.report.engines
+        }
+        for method in self.report.methods:
+            by_engine: dict[str, list] = {}
+            for engine in self.report.engines:
+                config = AlignConfig(method=method, engine=engine)
+                results = self._results(method, engine)
+                all_results[engine][method] = results
+                self.report.cells += len(results)
+                for index, outcome in enumerate(results):
+                    if not isinstance(outcome, Refusal):
+                        continue
+                    self.report.refusals += 1
+                    if not outcome.expected:
+                        self._diverge(
+                            "crash", method,
+                            f"{outcome.render()} (engine={engine})",
+                            pair=self.report.pairs[index],
+                        )
+                reports = [
+                    r if isinstance(r, Refusal) else r.report(config)
+                    for r in results
+                ]
+                by_engine[engine] = reports
+                self.check_well_formedness(method, engine, results)
+                self.check_report_roundtrip(method, reports)
+                self.check_jobs_determinism(
+                    method, engine,
+                    [
+                        r.render() if isinstance(r, Refusal) else r.to_json()
+                        for r in reports
+                    ],
+                )
+            self.check_engine_parity(method, by_engine)
+        for engine in self.report.engines:
+            self.check_hierarchy(engine, all_results[engine])
+            self.check_theta_monotonicity(engine)
+        return self.report
+
+
+def run_differential(
+    config: SyntheticConfig,
+    name: str = "scenario",
+    methods: Sequence[str] | None = None,
+    engines: Sequence[str] = DEFAULT_ENGINES,
+    jobs: Sequence[int] = DEFAULT_JOBS,
+    thetas: Sequence[float] = DEFAULT_THETAS,
+    shared: bool = True,
+) -> DifferentialReport:
+    """Run the full differential oracle on one scenario.
+
+    *methods* defaults to every registered
+    :class:`~repro.align.registry.MethodSpec` (baselines included);
+    *shared* reuses the process-wide memoized generator so repeated runs
+    (tests, figure code, the CLI) build each history once.
+    """
+    if methods is None:
+        methods = method_names()
+    oracle = _ScenarioOracle(
+        name=name,
+        config=config,
+        methods=methods,
+        engines=engines,
+        jobs=jobs,
+        thetas=thetas,
+        shared=shared,
+    )
+    return oracle.run()
+
+
+def run_scenarios(
+    scenarios: dict[str, SyntheticConfig] | None = None,
+    **kwargs,
+) -> dict[str, DifferentialReport]:
+    """Run the oracle over a scenario matrix (default: the pinned seeds)."""
+    if scenarios is None:
+        scenarios = SCENARIOS
+    return {
+        name: run_differential(config, name=name, **kwargs)
+        for name, config in scenarios.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# CI entry point
+# ----------------------------------------------------------------------
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.testing.differential`` — the CI oracle job.
+
+    Runs the pinned scenario matrix, writes one artifact JSON per
+    failing scenario (seed + config + divergences) under ``--out``, and
+    appends per-scenario generator timings to ``--bench``.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.differential",
+        description="differential oracle over the pinned synthetic scenarios",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(SCENARIOS),
+        help="run only this scenario (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--out",
+        default="results/differential",
+        help="directory for failing-scenario artifacts (seed + config JSON)",
+    )
+    parser.add_argument(
+        "--bench",
+        default=None,
+        help="append generator timings to this bench.json file",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        nargs="*",
+        default=list(DEFAULT_JOBS),
+        help="job counts the determinism check compares (default: 1 2)",
+    )
+    args = parser.parse_args(argv)
+
+    selected = {
+        name: config
+        for name, config in SCENARIOS.items()
+        if not args.scenario or name in args.scenario
+    }
+    failures = 0
+    for name, config in selected.items():
+        try:
+            report = run_differential(config, name=name, jobs=args.jobs)
+        except Exception as error:
+            # Last-ditch net (e.g. a generator bug): the artifact with the
+            # scenario's seed + config must still reach CI.
+            failures += 1
+            os.makedirs(args.out, exist_ok=True)
+            artifact = os.path.join(args.out, f"{name}.json")
+            with open(artifact, "w", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(
+                        {
+                            "schema": "repro/differential-report",
+                            "version": 1,
+                            "scenario": name,
+                            "seed": config.seed,
+                            "config": config.to_dict(),
+                            "ok": False,
+                            "error": f"{type(error).__name__}: {error}",
+                        },
+                        indent=2,
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+            print(f"{name}: oracle crashed — {type(error).__name__}: {error}")
+            print(f"  artifact written to {artifact}")
+            continue
+        print(report.summary())
+        if args.bench:
+            append_bench_entry(
+                args.bench, f"synthetic/generate/{name}",
+                report.generate_seconds,
+            )
+        if not report.ok:
+            failures += 1
+            os.makedirs(args.out, exist_ok=True)
+            artifact = os.path.join(args.out, f"{name}.json")
+            with open(artifact, "w", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(report.to_dict(), indent=2, sort_keys=True)
+                    + "\n"
+                )
+            for divergence in report.divergences:
+                print("  " + divergence.render())
+            print(f"  artifact written to {artifact}")
+    if failures:
+        print(f"{failures} scenario(s) diverged")
+        return 1
+    print(f"all {len(selected)} scenario(s) passed the differential oracle")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+"""The benchmark harness's bench.json append must be crash-proof.
+
+``benchmarks/conftest.py::record_bench`` runs inside an autouse fixture
+of every benchmark, so a corrupt or missing ``results/bench.json`` used
+to be able to take down the whole bench session.  These tests pin the
+tolerant semantics: bad state is replaced, not raised.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks import conftest as bench_conftest
+
+
+@pytest.fixture
+def bench_paths(tmp_path, monkeypatch):
+    """Redirect the harness at a scratch results directory."""
+    results = tmp_path / "results"
+    target = results / "bench.json"
+    monkeypatch.setattr(bench_conftest, "RESULTS_DIR", results)
+    monkeypatch.setattr(bench_conftest, "BENCH_JSON", target)
+    return results, target
+
+
+def test_creates_missing_file_and_directory(bench_paths):
+    results, target = bench_paths
+    assert bench_conftest.record_bench("t", 1.25, speedup=2.0)
+    entries = json.loads(target.read_text(encoding="utf-8"))
+    assert entries == [{"name": "t", "seconds": 1.25, "speedup": 2.0}]
+
+
+def test_appends_to_existing_entries(bench_paths):
+    _, target = bench_paths
+    bench_conftest.record_bench("first", 1.0)
+    bench_conftest.record_bench("second", 2.0)
+    names = [e["name"] for e in json.loads(target.read_text(encoding="utf-8"))]
+    assert names == ["first", "second"]
+
+
+@pytest.mark.parametrize(
+    "garbage",
+    [
+        "{not json at all",        # corrupt JSON
+        '{"name": "not-a-list"}',  # wrong top-level shape
+        '[1, "x", {"name": "keep", "seconds": 1.0, "speedup": null}]',
+    ],
+)
+def test_corrupt_content_is_replaced_not_raised(bench_paths, garbage):
+    results, target = bench_paths
+    results.mkdir()
+    target.write_text(garbage, encoding="utf-8")
+    assert bench_conftest.record_bench("t", 0.5)
+    entries = json.loads(target.read_text(encoding="utf-8"))
+    assert all(isinstance(entry, dict) for entry in entries)
+    assert entries[-1]["name"] == "t"
+
+
+def test_directory_squatting_on_the_path_reports_false(bench_paths):
+    results, target = bench_paths
+    target.mkdir(parents=True)  # bench.json is a *directory*
+    assert bench_conftest.record_bench("t", 0.5) is False
+
+
+def test_unwritable_results_dir_reports_false(bench_paths, monkeypatch):
+    results, target = bench_paths
+    # A file squatting where the results directory should be makes both
+    # mkdir and write fail with OSError.
+    results.parent.mkdir(exist_ok=True)
+    results.write_text("squatter", encoding="utf-8")
+    assert bench_conftest.record_bench("t", 0.5) is False
+
+
+def test_rounding_matches_the_documented_schema(bench_paths):
+    _, target = bench_paths
+    bench_conftest.record_bench("t", 1.23456789, speedup=3.14159)
+    entry = json.loads(target.read_text(encoding="utf-8"))[0]
+    assert entry["seconds"] == 1.234568
+    assert entry["speedup"] == 3.142

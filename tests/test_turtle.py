@@ -134,6 +134,78 @@ class TestTurtleReader:
             turtle.loads('<http://ex/a> "p" <http://ex/b> .')
 
 
+class TestReaderErrorPaths:
+    """Malformed input must fail loudly with a ParseError, never parse
+    wrongly or crash with an unrelated exception (the PR-4 reader only
+    had happy-path coverage)."""
+
+    @pytest.mark.parametrize(
+        "document",
+        [
+            # -- malformed prefix directives -------------------------------
+            "@prefix ex <http://ex/> .",            # missing colon
+            "@prefix ex: \"not-an-iri\" .",          # IRI expected
+            "@prefix ex: <http://ex/>",              # missing final dot
+            "@prefixes ex: <http://ex/> .",          # unknown directive
+            "@base <http://ex/>",                    # missing final dot
+            # -- IRIs and names --------------------------------------------
+            "<http://ex/a <http://ex/p> <http://ex/o> .",   # unterminated IRI
+            "<http://ex/a> <http://ex/p> ??? .",            # junk token
+            # -- literals --------------------------------------------------
+            '<http://ex/a> <http://ex/p> "oops .',          # unterminated
+            '<http://ex/a> <http://ex/p> "bad\nbreak" .',   # raw newline
+            '<http://ex/a> <http://ex/p> "dangling\\',      # dangling escape
+            '<http://ex/a> <http://ex/p> "bad \\q escape" .',
+            '<http://ex/a> <http://ex/p> "bad \\uZZZZ" .',  # bad unicode
+            '<http://ex/a> <http://ex/p> "x"@ .',           # empty language
+            '"subject" <http://ex/p> <http://ex/o> .',      # literal subject
+            # -- blank nodes -----------------------------------------------
+            "_: <http://ex/p> <http://ex/o> .",             # empty label
+            "<http://ex/a> _:p <http://ex/o> .",            # blank predicate
+            # -- unsupported container syntax ------------------------------
+            "<http://ex/a> <http://ex/p> ( 1 2 ) .",        # collection
+            "<http://ex/a> <http://ex/p> [ ] .",            # anonymous blank
+            # -- statement structure ---------------------------------------
+            "<http://ex/a> <http://ex/p> <http://ex/o>",    # missing dot
+            "<http://ex/a> <http://ex/p> .",                # missing object
+        ],
+    )
+    def test_malformed_documents_rejected(self, document):
+        with pytest.raises(ParseError):
+            turtle.loads(document)
+
+    def test_error_carries_the_line_number(self):
+        document = (
+            "@prefix ex: <http://ex/> .\n"
+            "ex:a ex:p ex:b .\n"
+            'ex:a ex:p "unterminated .\n'
+        )
+        with pytest.raises(ParseError) as excinfo:
+            turtle.loads(document)
+        assert excinfo.value.line_number == 3
+        assert "line 3" in str(excinfo.value)
+
+    def test_undeclared_prefix_names_the_label(self):
+        with pytest.raises(ParseError) as excinfo:
+            turtle.loads("@prefix ex: <http://ex/> .\nex:a mystery:p ex:b .")
+        assert "mystery" in str(excinfo.value)
+
+    def test_bad_list_error_is_actionable(self):
+        with pytest.raises(ParseError) as excinfo:
+            turtle.loads("<http://ex/a> <http://ex/p> ( <http://ex/x> ) .")
+        assert "not" in str(excinfo.value).lower()
+
+    def test_valid_document_after_error_line_is_not_reached(self):
+        """The parser stops at the first malformed statement."""
+        document = (
+            "<http://ex/a> <http://ex/p> <http://ex/o> .\n"
+            "<http://ex/broken .\n"
+            "<http://ex/b> <http://ex/p> <http://ex/o> .\n"
+        )
+        with pytest.raises(ParseError):
+            turtle.loads(document)
+
+
 class TestLoadGraph:
     @pytest.fixture
     def files(self, tmp_path):
