@@ -233,7 +233,7 @@ def test_parallel_runner_speedup(results_dir):
     print()
     print(report)
 
-    record_bench("parallel_runner/seed_path", seed_seconds)
+    record_bench("parallel_runner/seed_path", seed_seconds, speedup=1.0)
     record_bench(
         "parallel_runner/store_jobs1", serial_seconds, speedup=serial_speedup
     )
@@ -241,6 +241,17 @@ def test_parallel_runner_speedup(results_dir):
         f"parallel_runner/store_jobs{PARALLEL_JOBS}",
         parallel_seconds,
         speedup=seed_seconds / parallel_seconds,
+    )
+    # Report-only (no gate): process fan-out currently buys ~nothing over
+    # jobs=1 on this workload — each forked worker re-derives the store
+    # artifacts its shard needs, so the grid's shared work is re-done per
+    # worker.  Recording the ratio keeps the regression visible in the
+    # performance trajectory until a shared-memory store lands; gating it
+    # would go red on every run without telling anyone anything new.
+    record_bench(
+        f"parallel_runner/jobs{PARALLEL_JOBS}_vs_jobs1",
+        parallel_seconds,
+        speedup=serial_seconds / parallel_seconds,
     )
 
     assert serial_speedup >= REQUIRED_SERIAL_SPEEDUP, (

@@ -62,6 +62,14 @@ class AlignConfig:
     jobs:
         Worker processes for batch/experiment execution (``0`` = one per
         CPU, ``1`` = serial).  Never affects results, only wall-clock.
+    incremental:
+        When ``True``, :meth:`~repro.align.session.Aligner.align_chain`
+        maintains each version's deblanking fixpoint from its
+        predecessor's under the chain's deltas
+        (:mod:`repro.core.maintain`) instead of refining every pair from
+        scratch.  Never affects results, only wall-clock — the
+        differential oracle's incremental axis pins byte-identical
+        reports.
     """
 
     method: str = "hybrid"
@@ -70,6 +78,7 @@ class AlignConfig:
     probe: str = "paper"
     splitter: Callable[[str], frozenset] = split_words
     jobs: int = 1
+    incremental: bool = False
 
     def __post_init__(self) -> None:
         from ..core.dense import resolve_refine_engine
@@ -105,6 +114,10 @@ class AlignConfig:
             raise ConfigError(f"jobs must be an integer, got {self.jobs!r}")
         if self.jobs < 0:
             raise ConfigError(f"jobs must be >= 0, got {self.jobs!r}")
+        if not isinstance(self.incremental, bool):
+            raise ConfigError(
+                f"incremental must be a boolean, got {self.incremental!r}"
+            )
 
     # ------------------------------------------------------------------
     def evolve(self, **changes) -> "AlignConfig":
@@ -142,4 +155,5 @@ class AlignConfig:
             "probe": self.probe,
             "splitter": self.splitter_name,
             "jobs": self.jobs,
+            "incremental": self.incremental,
         }

@@ -136,6 +136,138 @@ class Aligner:
             for source, target in pairs
         ]
 
+    def align_chain(
+        self, history: Sequence[GraphLike], changes: Sequence | None = None
+    ) -> list:
+        """Align every consecutive pair of a version *history*.
+
+        With the default config this is one :meth:`align` per pair.
+        With ``incremental=True`` the chain carries each version's
+        deblanking fixpoint forward: version ``k+1``'s partition is
+        *maintained* from version ``k``'s under the step's
+        :class:`~repro.delta.changes.VersionChanges`
+        (:mod:`repro.core.maintain`), and each pair's alignment base is
+        composed from the two per-version class summaries instead of
+        refined from scratch.  Results are identical either way — only
+        wall-clock changes.
+
+        *changes* optionally supplies the per-step deltas (one per
+        consecutive pair, e.g. from an archive's write log or a
+        generator's ``version_changes``); when omitted they are computed
+        by :func:`repro.delta.changes.diff`, which matches nodes by
+        identifier — identity-preserving deltas make maintenance
+        proportional to the real change.
+        """
+        from ..exceptions import ConfigError
+
+        graphs = [self._resolve(graph) for graph in history]
+        if len(graphs) < 2:
+            raise ConfigError(
+                f"align_chain needs at least two versions, got {len(graphs)}"
+            )
+        if changes is not None and len(changes) != len(graphs) - 1:
+            raise ConfigError(
+                f"expected {len(graphs) - 1} deltas for {len(graphs)} "
+                f"versions, got {len(changes)}"
+            )
+        if not self.config.incremental:
+            return [self._run(a, b) for a, b in zip(graphs, graphs[1:])]
+
+        from ..core.maintain import deblank_fixpoint, maintain_or_batch
+        from ..delta.changes import diff
+        from ..experiments.store import (
+            joint_quotient_colors,
+            summary_from_partition,
+        )
+
+        deltas = (
+            list(changes)
+            if changes is not None
+            else [diff(a, b) for a, b in zip(graphs, graphs[1:])]
+        )
+        # One interner for the whole chain (the verbatim-carry contract:
+        # every step's colors are indices into it, so the next step reuses
+        # them as-is) plus the cross-step canonical-form cache that keeps
+        # the coarsening pass proportional to the delta.
+        from ..partition.interner import ColorInterner
+
+        chain_interner = ColorInterner()
+        canon_cache: dict = {}
+        fixpoints = [deblank_fixpoint(graphs[0], chain_interner)]
+        for graph, delta in zip(graphs[1:], deltas):
+            fixpoints.append(
+                maintain_or_batch(
+                    graph,
+                    fixpoints[-1],
+                    delta,
+                    graph.blanks(),
+                    chain_interner,
+                    canon_cache=canon_cache,
+                )
+            )
+        summaries = [
+            summary_from_partition(graph, fixpoint)
+            for graph, fixpoint in zip(graphs, fixpoints)
+        ]
+        return [
+            self._run_composed(
+                graphs[i],
+                graphs[i + 1],
+                summaries[i],
+                summaries[i + 1],
+                joint_quotient_colors(summaries[i], summaries[i + 1]),
+            )
+            for i in range(len(graphs) - 1)
+        ]
+
+    def _run_composed(self, source, target, source_summary, target_summary, joint):
+        """One pair's alignment on top of a composed deblanking base."""
+        from ..core.hybrid import hybrid_partition
+        from ..experiments.store import compose_deblank_partition
+        from ..partition.interner import ColorInterner
+        from ..similarity.overlap_alignment import OverlapTrace, overlap_partition
+        from .methods import _partition_result
+
+        config = self.config
+        spec = get_method(config.method)
+        if spec.baseline or config.method == "trivial" or config.method not in (
+            "deblank", "hybrid", "overlap"
+        ):
+            # No deblanking fixpoint to reuse (trivial/baselines), or a
+            # third-party method without a composed path: run batch.
+            return self._run(source, target)
+        graph = CombinedGraph(source, target)
+        csr = None
+        if config.engine == "dense" and spec.uses_csr:
+            csr = CSRGraph.from_blocks(self._block(source), self._block(target))
+        interner = ColorInterner()
+        deblank = compose_deblank_partition(
+            graph, source_summary, target_summary, joint, interner
+        )
+        if config.method == "deblank":
+            return _partition_result("deblank", graph, deblank, interner, config)
+        hybrid = hybrid_partition(
+            graph, interner, base=deblank, engine=config.engine, csr=csr
+        )
+        if config.method == "hybrid":
+            return _partition_result("hybrid", graph, hybrid, interner, config)
+        trace = OverlapTrace()
+        weighted = overlap_partition(
+            graph,
+            theta=config.theta,
+            interner=interner,
+            base=hybrid,
+            probe=config.probe,  # type: ignore[arg-type]
+            splitter=self._memoized_splitter(),
+            trace=trace,
+            engine=config.engine,
+            csr=csr,
+        )
+        return _partition_result(
+            "overlap", graph, weighted.partition, interner, config,
+            weighted=weighted, trace=trace,
+        )
+
     def report(self, source: GraphLike, target: GraphLike) -> AlignmentReport:
         """Align and render the serializable report in one step."""
         return self.align(source, target).report(self.config)

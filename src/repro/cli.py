@@ -47,10 +47,16 @@ def _build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     align_cmd = commands.add_parser(
-        "align", help="align two RDF files (N-Triples or Turtle)"
+        "align", help="align two or more RDF files (N-Triples or Turtle)"
     )
     align_cmd.add_argument("source", help="source version (.nt/.ttl)")
-    align_cmd.add_argument("target", help="target version (.nt/.ttl)")
+    align_cmd.add_argument(
+        "targets",
+        nargs="+",
+        metavar="target",
+        help="target version(s); more than one aligns the whole chain "
+        "source -> t1 -> t2 -> ...",
+    )
     align_cmd.add_argument(
         "--method",
         choices=method_names(),
@@ -77,6 +83,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="refinement engine (dense = flat-array fast path; with "
         "--method overlap it also runs the whole Algorithm 2 loop on "
         "CSR buffers)",
+    )
+    align_cmd.add_argument(
+        "--incremental",
+        action="store_true",
+        help="maintain the chain's deblanking fixpoints under per-step "
+        "deltas instead of refining every pair from scratch (identical "
+        "results, less work on long version chains)",
     )
     align_cmd.add_argument(
         "--pairs", action="store_true", help="print every aligned pair (TSV)"
@@ -204,32 +217,56 @@ def _command_align(args: argparse.Namespace) -> int:
         engine=args.engine,
         probe=args.probe,
         splitter=args.splitter,
+        incremental=args.incremental,
     )
     aligner = Aligner(config)
-    result = aligner.align(args.source, args.target)
-    unaligned_source, unaligned_target = result.unaligned_counts()
-    print(
-        f"method={result.method} matched_entities={result.matched_entities()} "
-        f"unaligned_source={unaligned_source} unaligned_target={unaligned_target}"
-    )
+    history = [args.source, *args.targets]
+    chain = len(history) > 2
+    if chain or config.incremental:
+        results = aligner.align_chain(history)
+    else:
+        results = [aligner.align(args.source, args.targets[0])]
+
+    pair_lines: list[str] = []
+    for step, result in enumerate(results):
+        unaligned_source, unaligned_target = result.unaligned_counts()
+        prefix = f"step={step + 1} " if chain else ""
+        print(
+            f"{prefix}method={result.method} "
+            f"matched_entities={result.matched_entities()} "
+            f"unaligned_source={unaligned_source} "
+            f"unaligned_target={unaligned_target}"
+        )
+        if args.pairs or args.output:
+            if chain:
+                pair_lines.append(
+                    f"# step {step + 1}: {history[step]} -> {history[step + 1]}"
+                )
+            for source_node, target_node in sorted(
+                result.alignment.pairs(),
+                key=lambda pair: (repr(pair[0]), repr(pair[1])),
+            ):
+                source_term = result.graph.original(source_node)
+                target_term = result.graph.original(target_node)
+                pair_lines.append(f"{source_term!r}\t{target_term!r}")
     if args.pairs or args.output:
-        lines = []
-        for source_node, target_node in sorted(
-            result.alignment.pairs(), key=lambda pair: (repr(pair[0]), repr(pair[1]))
-        ):
-            source_term = result.graph.original(source_node)
-            target_term = result.graph.original(target_node)
-            lines.append(f"{source_term!r}\t{target_term!r}")
-        text = "\n".join(lines) + ("\n" if lines else "")
+        text = "\n".join(pair_lines) + ("\n" if pair_lines else "")
         if args.output:
             with open(args.output, "w", encoding="utf-8") as handle:
                 handle.write(text)
-            print(f"wrote {len(lines)} pairs to {args.output}")
+            print(f"wrote {len(pair_lines)} pairs to {args.output}")
         else:
             sys.stdout.write(text)
     if args.report:
-        report = result.report(config)
-        report.save(args.report)
+        if chain:
+            import json
+
+            payload = [result.report(config).to_dict() for result in results]
+            with open(args.report, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        else:
+            results[0].report(config).save(args.report)
         print(f"wrote report to {args.report}")
     return 0
 

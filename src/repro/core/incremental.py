@@ -24,6 +24,7 @@ already-aligned node — so hybrid always uses the batch variant.
 
 from __future__ import annotations
 
+import itertools
 from typing import Collection
 
 from ..exceptions import PartitionError
@@ -32,18 +33,41 @@ from ..partition.coloring import Partition
 from ..partition.interner import Color, ColorInterner
 from .refinement import check_interner_covers
 
+#: Per-call epoch for split colors.  Fixpoint maintenance reuses one
+#: interner across a whole version chain; without the epoch the key
+#: ``("split", 3)`` minted in step k would alias the unrelated third
+#: split of step k+5 and wrongly merge their classes.
+_EPOCHS = itertools.count()
+
 
 def incremental_refine_fixpoint(
     graph: TripleGraph,
     partition: Partition,
     subset: Collection[NodeId] | None = None,
     interner: ColorInterner | None = None,
+    dirty: Collection[NodeId] | None = None,
+    seed_closed: bool = False,
 ) -> Partition:
     """Refine *partition* on *subset* to the coarsest stable refinement.
 
     Equivalent (as a partition) to
     :func:`repro.core.refinement.bisim_refine_fixpoint`; the color values
     differ.
+
+    *dirty* seeds the worklist: only the given subset nodes (and whatever
+    their splits transitively dirty) are examined.  The default examines
+    the whole subset, which is the from-scratch refinement.  A caller
+    passing a smaller seed asserts that every class not reachable from it
+    is already stable — that is the contract the fixpoint-maintenance
+    layer (:mod:`repro.core.maintain`) establishes before calling in.
+
+    *seed_closed* additionally asserts that *dirty* is closed under
+    in-subset predecessors and that every class containing a dirty node
+    consists of dirty nodes only.  The member map is then built from the
+    seed instead of the whole subset, and the O(|V|) purity check is
+    skipped — the O(delta) fast path of fixpoint maintenance, which
+    establishes both properties by resetting exactly the predecessor
+    closure of the touched nodes.
     """
     if interner is None:
         # Re-seed foreign colors into a fresh interner so that the split
@@ -56,23 +80,36 @@ def incremental_refine_fixpoint(
         check_interner_covers(partition, interner)
     colors: dict[NodeId, Color] = partition.as_dict()
     subset_nodes = set(subset) if subset is not None else set(graph.nodes())
+    dirty = set(subset_nodes) if dirty is None else set(dirty) & subset_nodes
 
-    # Class map restricted to subset nodes, plus the mixed-class check.
     members: dict[Color, set[NodeId]] = {}
-    for node in subset_nodes:
-        members.setdefault(colors[node], set()).add(node)
-    for color, subset_members in members.items():
-        class_size = sum(1 for n, c in colors.items() if c == color)
-        if class_size != len(subset_members):
-            raise PartitionError(
-                "incremental refinement requires initial classes that do not "
-                "mix subset and non-subset nodes; use the batch variant"
-            )
+    if seed_closed:
+        # The caller vouches that dirty classes contain dirty nodes only
+        # and that dirty is predecessor-closed in the subset: the member
+        # map restricted to the seed is then complete for every class the
+        # worklist can ever touch.
+        for node in dirty:
+            members.setdefault(colors[node], set()).add(node)
+    else:
+        # Class map restricted to subset nodes, plus the mixed-class check
+        # (one pass over the coloring instead of one scan per class).
+        for node in subset_nodes:
+            members.setdefault(colors[node], set()).add(node)
+        class_sizes: dict[Color, int] = {}
+        for color in colors.values():
+            class_sizes[color] = class_sizes.get(color, 0) + 1
+        for color, subset_members in members.items():
+            if class_sizes[color] != len(subset_members):
+                raise PartitionError(
+                    "incremental refinement requires initial classes that do "
+                    "not mix subset and non-subset nodes; use the batch variant"
+                )
 
     def signature(node: NodeId) -> tuple[tuple[Color, Color], ...]:
         return tuple(sorted({(colors[p], colors[o]) for p, o in graph.out(node)}))
 
-    dirty = set(subset_nodes)
+    occurrences = graph.occurrence_index()
+    epoch = next(_EPOCHS)
     split_count = 0
     while dirty:
         affected_colors = {colors[node] for node in dirty}
@@ -93,7 +130,7 @@ def incremental_refine_fixpoint(
             ordered = sorted(groups.items(), key=lambda item: item[0])
             for __, group_nodes in ordered[1:]:
                 split_count += 1
-                new_color = interner.intern(("split", split_count))
+                new_color = interner.intern(("split", epoch, split_count))
                 for node in group_nodes:
                     colors[node] = new_color
                     moved.append(node)
@@ -101,5 +138,7 @@ def incremental_refine_fixpoint(
                 class_members -= group_nodes
         dirty = set()
         for node in moved:
-            dirty.update(graph.occurrences(node) & subset_nodes)
+            for predecessor in occurrences.get(node, ()):
+                if predecessor in subset_nodes:
+                    dirty.add(predecessor)
     return Partition(colors)

@@ -679,6 +679,30 @@ class SyntheticGenerator:
             self.entities(source_index), self.entities(target_index)
         )
 
+    def version_changes(self, index: int):
+        """The identity-preserving delta from version *index* to the next.
+
+        Renames come from the shared entity keys — blank identifiers
+        reshuffle wholesale every version and URIs move under the rename
+        operator, so a persistent entity appears as a rename instead of
+        a removal plus an insertion.  This is what keeps incremental
+        maintenance (:mod:`repro.core.maintain`) proportional to the
+        real change: ``version_changes(i).apply(graph(i))`` reproduces
+        ``graph(i + 1)`` exactly.
+        """
+        from ..delta.changes import diff
+
+        before = self.graph(index)
+        after = self.graph(index + 1)
+        first = self.entities(index)
+        second = self.entities(index + 1)
+        renames = {
+            first[key]: second[key]
+            for key in first.keys() & second.keys()
+            if first[key] != second[key]
+        }
+        return diff(before, after, renames=renames)
+
     def combined(
         self, source_index: int, target_index: int
     ) -> tuple[CombinedGraph, GroundTruth]:

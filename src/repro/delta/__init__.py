@@ -1,5 +1,19 @@
 """Deltas between graph versions (alignment ≅ delta, paper related work)."""
 
-from .changes import Delta, NodeChange, compute_delta, render_delta
+from .changes import (
+    Delta,
+    NodeChange,
+    VersionChanges,
+    compute_delta,
+    diff,
+    render_delta,
+)
 
-__all__ = ["Delta", "NodeChange", "compute_delta", "render_delta"]
+__all__ = [
+    "Delta",
+    "NodeChange",
+    "VersionChanges",
+    "compute_delta",
+    "diff",
+    "render_delta",
+]

@@ -41,6 +41,7 @@ from typing import Callable, Hashable, Sequence
 
 from ..align.config import AlignConfig
 from ..core.hybrid import hybrid_partition
+from ..core.maintain import deblank_fixpoint, maintain_or_batch
 from ..core.refinement import bisim_refine_fixpoint
 from ..datasets import registry as _registry
 from ..datasets.dbpedia import DBpediaCategoryGenerator
@@ -110,6 +111,19 @@ def blank_summary(graph: TripleGraph) -> BlankSummary:
     partition = bisim_refine_fixpoint(
         graph, label_partition(graph, interner), blanks, interner
     )
+    return summary_from_partition(graph, partition)
+
+
+def summary_from_partition(graph: TripleGraph, partition) -> BlankSummary:
+    """Quotient any deblanking fixpoint of *graph* to a :class:`BlankSummary`.
+
+    Class ids are numbered by first appearance in graph order, so two
+    *equivalent* partitions (batch-refined or incrementally maintained —
+    color values notwithstanding) produce identical summaries.
+    """
+    blanks = graph.blanks()
+    if not blanks:
+        return BlankSummary(classes={}, class_pairs=())
     classes: dict[NodeId, int] = {}
     representatives: list[NodeId] = []
     class_of_color: dict[int, int] = {}
@@ -195,6 +209,41 @@ def joint_quotient_colors(
         count = refined_count
 
 
+def compose_deblank_partition(
+    union: CombinedGraph,
+    source_summary: BlankSummary,
+    target_summary: BlankSummary,
+    joint: tuple[list[int], list[int]],
+    interner: ColorInterner,
+) -> Partition:
+    """Assemble a pair's deblanking partition from per-version summaries.
+
+    Equivalent (as a partition) to refining the union from scratch:
+    non-blank nodes get their label color, every blank its class's joint
+    quotient color (*joint* comes from :func:`joint_quotient_colors` on
+    the two summaries).  Shared by :meth:`VersionStore.deblank_partition`
+    and the incremental chain path of
+    :meth:`repro.align.session.Aligner.align_chain`.
+    """
+    source_colors, target_colors = joint
+    colors: dict[NodeId, int] = {}
+    label_color = interner.label_color
+    intern = interner.intern
+    for node, label in union.labels().items():
+        side, original = node
+        if side == SOURCE:
+            cid = source_summary.classes.get(original)
+            joint_colors = source_colors
+        else:
+            cid = target_summary.classes.get(original)
+            joint_colors = target_colors
+        if cid is None:
+            colors[node] = label_color(label)
+        else:
+            colors[node] = intern(("deblank-class", joint_colors[cid]))
+    return Partition(colors)
+
+
 # ----------------------------------------------------------------------
 # The store
 # ----------------------------------------------------------------------
@@ -244,6 +293,12 @@ class VersionStore:
         self.generator = generator
         self.versions = versions
         self._summaries: dict[int, BlankSummary] = {}
+        self._fixpoints: dict[int, Partition] = {}
+        # Maintenance-chain state: one interner for every maintained
+        # fixpoint (the verbatim-carry contract) plus the cross-step
+        # canonical-form cache of the coarsening pass.
+        self._chain_interner = ColorInterner()
+        self._canon_cache: dict = {}
         self._csr_blocks: dict[int, CSRGraph] = {}
         self._edge_tokens: dict[tuple[int, str], frozenset] = {}
         self._trivial_sides: dict[tuple[int, int], frozenset] = {}
@@ -307,6 +362,49 @@ class VersionStore:
         summary = blank_summary(self.graph(version))
         self._summaries[version] = summary
         return summary
+
+    def blank_fixpoint(self, version: int) -> Partition:
+        """The version's deblanking fixpoint, cached alongside CSR blocks.
+
+        When the generator exposes identity-preserving deltas
+        (``version_changes``, like :class:`~repro.datasets.synthetic.
+        SyntheticGenerator`), every version after the first is
+        *maintained* from its predecessor's partition
+        (:func:`repro.core.maintain.maintain_or_batch`) instead of
+        refined from scratch — equivalent as a partition either way.
+        """
+        cached = self._fixpoints.get(version)
+        if cached is not None:
+            self._count("fixpoint", hit=True)
+            return cached
+        self._count("fixpoint", hit=False)
+        graph = self.graph(version)
+        version_changes = getattr(self.generator, "version_changes", None)
+        if version > 0 and version_changes is not None:
+            previous = self.blank_fixpoint(version - 1)
+            partition = maintain_or_batch(
+                graph,
+                previous,
+                version_changes(version - 1),
+                graph.blanks(),
+                self._chain_interner,
+                canon_cache=self._canon_cache,
+            )
+        else:
+            partition = deblank_fixpoint(graph, self._chain_interner)
+        self._fixpoints[version] = partition
+        return partition
+
+    def maintained_summary(self, version: int) -> BlankSummary:
+        """A :class:`BlankSummary` built on the maintained fixpoint.
+
+        Identical in value to :meth:`summary` (summaries are invariant
+        under partition recoloring); the batch path stays the default so
+        the differential oracle compares genuinely independent pipelines.
+        """
+        return summary_from_partition(
+            self.graph(version), self.blank_fixpoint(version)
+        )
 
     def csr_block(self, version: int) -> CSRGraph:
         cached = self._csr_blocks.get(version)
@@ -545,25 +643,13 @@ class VersionStore:
         """
         if union is None:
             union = self.union(source, target)
-        source_classes = self.summary(source).classes
-        target_classes = self.summary(target).classes
-        source_colors, target_colors = self.joint_colors(source, target)
-        colors: dict[NodeId, int] = {}
-        label_color = interner.label_color
-        intern = interner.intern
-        for node, label in union.labels().items():
-            side, original = node
-            if side == SOURCE:
-                cid = source_classes.get(original)
-                joint = source_colors
-            else:
-                cid = target_classes.get(original)
-                joint = target_colors
-            if cid is None:
-                colors[node] = label_color(label)
-            else:
-                colors[node] = intern(("deblank-class", joint[cid]))
-        return Partition(colors)
+        return compose_deblank_partition(
+            union,
+            self.summary(source),
+            self.summary(target),
+            self.joint_colors(source, target),
+            interner,
+        )
 
     def cell_context(
         self, source: int, target: int, config: AlignConfig | None = None

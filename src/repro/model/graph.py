@@ -224,13 +224,23 @@ class TripleGraph:
         partition refinement, exactly the nodes returned here may need to be
         recolored — this is the worklist of the incremental algorithm.
         """
+        return frozenset(self.occurrence_index().get(node, ()))
+
+    def occurrence_index(self) -> Mapping[NodeId, set[NodeId]]:
+        """The whole reverse index at once (treat as read-only).
+
+        Bulk consumers (the maintenance closure BFS, the worklist loop of
+        the incremental refinement) call this once instead of paying a
+        frozenset copy per :meth:`occurrences` query; nodes that occur in
+        no neighborhood are absent.
+        """
         if self._occurrences is None:
             index: dict[NodeId, set[NodeId]] = {}
             for subject, predicate, obj in self._edges:
                 index.setdefault(predicate, set()).add(subject)
                 index.setdefault(obj, set()).add(subject)
             self._occurrences = index
-        return frozenset(self._occurrences.get(node, ()))
+        return self._occurrences
 
     # ------------------------------------------------------------------
     # Misc

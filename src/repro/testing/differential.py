@@ -29,6 +29,12 @@ asserts the cross-cutting invariants:
 * **report round-trip** — every produced
   :class:`~repro.align.report.AlignmentReport` survives
   ``from_json(to_json())`` exactly;
+* **incremental parity** — maintaining each version's deblanking
+  fixpoint under the generator's deltas
+  (``Aligner(..., incremental=True).align_chain``; see
+  :mod:`repro.core.maintain`) yields, on every consecutive pair, a
+  partition equivalent to the from-scratch one and a byte-identical
+  report;
 * **no crashes** — a deliberate :class:`~repro.exceptions.ReproError`
   refusal is legitimate when consistent across paths, but any other
   exception in any method × engine cell is captured as a ``crash``
@@ -68,6 +74,11 @@ DEFAULT_JOBS: tuple[int, ...] = (1, 2)
 
 #: Default engines; every registered method must agree across them.
 DEFAULT_ENGINES: tuple[str, ...] = ("reference", "dense")
+
+#: The oracle's selectable axes: ``"all"`` runs every invariant,
+#: ``"incremental"`` runs only the incremental-vs-scratch parity check
+#: (the dedicated CI job, cheap enough to run on every push).
+AXES: tuple[str, ...] = ("all", "incremental")
 
 
 @dataclass(frozen=True)
@@ -206,7 +217,11 @@ class _ScenarioOracle:
         jobs: Sequence[int],
         thetas: Sequence[float],
         shared: bool,
+        axis: str = "all",
     ) -> None:
+        if axis not in AXES:
+            raise ValueError(f"unknown axis {axis!r}; expected one of {AXES}")
+        self.axis = axis
         self.report = DifferentialReport(
             scenario=name,
             config=config,
@@ -424,6 +439,58 @@ class _ScenarioOracle:
                         pair=pair,
                     )
 
+    def check_incremental_parity(self, method: str, engine: str,
+                                 results: list, reports: list) -> None:
+        """Incremental chains must reproduce the from-scratch runs.
+
+        The whole history is re-aligned through ``Aligner(...,
+        incremental=True).align_chain`` with the generator's
+        identity-preserving per-step deltas, so every consecutive pair's
+        partition is *maintained* from its predecessor's fixpoint
+        (:mod:`repro.core.maintain`) rather than refined from scratch.
+        For each pair the maintained partition must be equivalent to the
+        batch one and the rendered report byte-identical.  Methods that
+        refuse the scenario are covered by the refusal-consistency axes
+        and skipped here.
+        """
+        if any(isinstance(outcome, Refusal) for outcome in results):
+            return
+        config = AlignConfig(method=method, engine=engine, incremental=True)
+        changes = [
+            self.generator.version_changes(index)
+            for index in range(len(self.graphs) - 1)
+        ]
+        try:
+            chain = Aligner(config).align_chain(self.graphs, changes=changes)
+        except Exception as error:
+            self._diverge(
+                "incremental_parity", method,
+                f"incremental chain raised {type(error).__name__}: {error} "
+                f"(engine={engine})",
+            )
+            return
+        self.report.cells += len(chain)
+        for index, (maintained, batch, expected) in enumerate(
+            zip(chain, results, reports)
+        ):
+            pair = self.report.pairs[index]
+            if hasattr(maintained, "partition") and hasattr(batch, "partition"):
+                if not maintained.partition.equivalent_to(batch.partition):
+                    self._diverge(
+                        "incremental_parity", method,
+                        f"maintained partition differs from from-scratch "
+                        f"(engine={engine})",
+                        pair=pair,
+                    )
+                    continue
+            if maintained.report(config).to_json() != expected.to_json():
+                self._diverge(
+                    "incremental_parity", method,
+                    f"incremental report differs byte-wise from the "
+                    f"from-scratch run (engine={engine})",
+                    pair=pair,
+                )
+
     def check_report_roundtrip(self, method: str,
                                reports: Iterable[AlignmentReport]) -> None:
         for index, report in enumerate(reports):
@@ -446,6 +513,7 @@ class _ScenarioOracle:
 
     # ------------------------------------------------------------------
     def run(self) -> DifferentialReport:
+        full = self.axis == "all"
         all_results: dict[str, dict[str, list]] = {
             engine: {} for engine in self.report.engines
         }
@@ -471,19 +539,23 @@ class _ScenarioOracle:
                     for r in results
                 ]
                 by_engine[engine] = reports
-                self.check_well_formedness(method, engine, results)
-                self.check_report_roundtrip(method, reports)
-                self.check_jobs_determinism(
-                    method, engine,
-                    [
-                        r.render() if isinstance(r, Refusal) else r.to_json()
-                        for r in reports
-                    ],
-                )
-            self.check_engine_parity(method, by_engine)
-        for engine in self.report.engines:
-            self.check_hierarchy(engine, all_results[engine])
-            self.check_theta_monotonicity(engine)
+                if full:
+                    self.check_well_formedness(method, engine, results)
+                    self.check_report_roundtrip(method, reports)
+                    self.check_jobs_determinism(
+                        method, engine,
+                        [
+                            r.render() if isinstance(r, Refusal) else r.to_json()
+                            for r in reports
+                        ],
+                    )
+                self.check_incremental_parity(method, engine, results, reports)
+            if full:
+                self.check_engine_parity(method, by_engine)
+        if full:
+            for engine in self.report.engines:
+                self.check_hierarchy(engine, all_results[engine])
+                self.check_theta_monotonicity(engine)
         return self.report
 
 
@@ -495,13 +567,17 @@ def run_differential(
     jobs: Sequence[int] = DEFAULT_JOBS,
     thetas: Sequence[float] = DEFAULT_THETAS,
     shared: bool = True,
+    axis: str = "all",
 ) -> DifferentialReport:
     """Run the full differential oracle on one scenario.
 
     *methods* defaults to every registered
     :class:`~repro.align.registry.MethodSpec` (baselines included);
     *shared* reuses the process-wide memoized generator so repeated runs
-    (tests, figure code, the CLI) build each history once.
+    (tests, figure code, the CLI) build each history once; *axis*
+    selects the invariant set (:data:`AXES` — ``"incremental"`` runs
+    only the incremental-vs-scratch parity check against the serial
+    baseline).
     """
     if methods is None:
         methods = method_names()
@@ -513,6 +589,7 @@ def run_differential(
         jobs=jobs,
         thetas=thetas,
         shared=shared,
+        axis=axis,
     )
     return oracle.run()
 
@@ -569,6 +646,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=list(DEFAULT_JOBS),
         help="job counts the determinism check compares (default: 1 2)",
     )
+    parser.add_argument(
+        "--axis",
+        choices=AXES,
+        default="all",
+        help="invariant set to run (incremental = only the "
+        "incremental-vs-scratch parity check)",
+    )
     args = parser.parse_args(argv)
 
     selected = {
@@ -579,7 +663,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     failures = 0
     for name, config in selected.items():
         try:
-            report = run_differential(config, name=name, jobs=args.jobs)
+            report = run_differential(
+                config, name=name, jobs=args.jobs, axis=args.axis
+            )
         except Exception as error:
             # Last-ditch net (e.g. a generator bug): the artifact with the
             # scenario's seed + config must still reach CI.

@@ -2,14 +2,20 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.core.hybrid import hybrid_partition
 from repro.core.trivial import trivial_partition
-from repro.delta import compute_delta, render_delta
+from repro.datasets.synthetic import SCENARIOS, SyntheticGenerator
+from repro.delta import VersionChanges, compute_delta, diff, render_delta
+from repro.io import ntriples
 from repro.model import RDFGraph, blank, combine, lit, uri
 from repro.partition.coloring import Partition
 from repro.partition.interner import ColorInterner
+
+from .conftest import random_rdf_graph
 
 
 @pytest.fixture
@@ -109,3 +115,102 @@ class TestRenderDelta:
         delta = compute_delta(change_pair, partition)
         out = render_delta(change_pair, delta, limit=0)
         assert "more" in out
+
+
+def _version_pair():
+    before = RDFGraph()
+    before.add(uri("a"), uri("p"), lit("kept"))
+    before.add(uri("a"), uri("p"), lit("dropped"))
+    before.add(uri("old-name"), uri("p"), blank("b1"))
+    before.add(blank("b1"), uri("q"), lit("anchor"))
+    after = RDFGraph()
+    after.add(uri("a"), uri("p"), lit("kept"))
+    after.add(uri("a"), uri("r"), lit("fresh"))
+    after.add(uri("new-name"), uri("p"), blank("b2"))
+    after.add(blank("b2"), uri("q"), lit("anchor"))
+    renames = {uri("old-name"): uri("new-name"), blank("b1"): blank("b2")}
+    return before, after, renames
+
+
+class TestVersionChanges:
+    """The edit-script constructor (diff/apply/compose) used by
+    incremental maintenance (repro.core.maintain)."""
+
+    def test_diff_apply_round_trips_to_identical_ntriples(self):
+        before, after, renames = _version_pair()
+        changes = diff(before, after, renames=renames)
+        assert ntriples.dumps(changes.apply(before)) == ntriples.dumps(after)
+
+    def test_round_trip_without_rename_hints(self):
+        """Identifier matching alone: renames become remove + insert,
+        apply still reproduces the target bytes."""
+        before, after, _ = _version_pair()
+        changes = diff(before, after)
+        assert not changes.renamed
+        assert ntriples.dumps(changes.apply(before)) == ntriples.dumps(after)
+
+    def test_random_graph_round_trips(self):
+        rng = random.Random(20160912)
+        for _ in range(10):
+            before = random_rdf_graph(rng, uri_prefix="d")
+            after = random_rdf_graph(rng, uri_prefix="d")
+            changes = diff(before, after)
+            assert ntriples.dumps(changes.apply(before)) == ntriples.dumps(after)
+
+    def test_generator_deltas_round_trip(self):
+        """The mutation_chain generator's identity-preserving deltas
+        reproduce each next version byte-for-byte."""
+        generator = SyntheticGenerator(config=SCENARIOS["mutation_chain"])
+        graphs = generator.graphs()
+        for index in range(len(graphs) - 1):
+            changes = generator.version_changes(index)
+            assert ntriples.dumps(changes.apply(graphs[index])) == ntriples.dumps(
+                graphs[index + 1]
+            )
+
+    def test_empty_delta_is_a_no_op(self):
+        before, _, _ = _version_pair()
+        changes = VersionChanges()
+        assert changes.is_empty
+        assert ntriples.dumps(changes.apply(before)) == ntriples.dumps(before)
+
+    def test_diff_of_identical_graphs_is_empty(self):
+        before, _, _ = _version_pair()
+        changes = diff(before, before.copy())
+        assert changes.is_empty
+
+    def test_compose_matches_sequential_application(self):
+        rng = random.Random(4242)
+        for _ in range(10):
+            g1 = random_rdf_graph(rng, uri_prefix="c")
+            g2 = random_rdf_graph(rng, uri_prefix="c")
+            g3 = random_rdf_graph(rng, uri_prefix="c")
+            first = diff(g1, g2)
+            second = diff(g2, g3)
+            composed = first.compose(second)
+            assert ntriples.dumps(composed.apply(g1)) == ntriples.dumps(g3)
+
+    def test_compose_with_renames(self):
+        before, mid, renames = _version_pair()
+        after = RDFGraph()
+        after.add(uri("a"), uri("p"), lit("kept"))
+        after.add(uri("a"), uri("r"), lit("fresh"))
+        after.add(uri("final-name"), uri("p"), blank("b3"))
+        after.add(blank("b3"), uri("q"), lit("anchor"))
+        first = diff(before, mid, renames=renames)
+        second = diff(
+            mid, after,
+            renames={uri("new-name"): uri("final-name"), blank("b2"): blank("b3")},
+        )
+        composed = first.compose(second)
+        assert ntriples.dumps(composed.apply(before)) == ntriples.dumps(after)
+        # The chained rename survives composition end to end.
+        assert composed.rename_map()[uri("old-name")] == uri("final-name")
+
+    def test_summary_counts(self):
+        before, after, renames = _version_pair()
+        changes = diff(before, after, renames=renames)
+        summary = changes.summary()
+        assert summary["renamed_nodes"] == 2
+        assert summary["removed_edges"] >= 1
+        assert summary["added_edges"] >= 1
