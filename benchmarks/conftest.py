@@ -24,13 +24,24 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
-def record_bench(name: str, seconds: float, speedup: float | None = None) -> bool:
+def record_bench(
+    name: str,
+    seconds: float,
+    speedup: float | None = None,
+    baseline_seconds: float | None = None,
+    jobs: int | None = None,
+    cpus: int | None = None,
+) -> bool:
     """Append one machine-readable measurement to ``results/bench.json``.
 
     The file is the seed of the performance trajectory (one entry per
     benchmark per run): ``[{"name", "seconds", "speedup"}, ...]``.
     ``speedup`` is the measured ratio for comparison benches and ``null``
-    for plain timings.
+    for plain timings.  Comparison benches additionally pass
+    ``baseline_seconds`` (the denominator of the ratio), ``jobs`` and
+    ``cpus`` — additive keys that let trajectory tooling distinguish a
+    slower machine from a real regression; entries without them keep the
+    historical shape, so old readers are unaffected.
 
     The append is best-effort by contract: a missing, corrupt or
     wrong-shaped ``bench.json`` (non-list JSON, non-dict entries, even a
@@ -45,7 +56,10 @@ def record_bench(name: str, seconds: float, speedup: float | None = None) -> boo
         from repro.benchlog import append_bench_entry
     except Exception:  # even an import failure must not kill the session
         return False
-    return append_bench_entry(BENCH_JSON, name, seconds, speedup)
+    return append_bench_entry(
+        BENCH_JSON, name, seconds, speedup,
+        baseline_seconds=baseline_seconds, jobs=jobs, cpus=cpus,
+    )
 
 
 @pytest.fixture(autouse=True)

@@ -1,31 +1,33 @@
-"""Batch execution: snapshot reuse + process fan-out on a figure-matrix workload.
+"""Batch execution: snapshot reuse + shared-memory fan-out.
 
-The workload is the evaluation's bread and butter: the EFO all-pairs
-matrices (a Figure-10-style trivial + deblank ratio grid *and* a
-Figure-11-style deblank count grid — two figures sharing one dataset,
+Two workloads, two acceptance surfaces:
+
+**Batch (store vs seed)** — the evaluation's bread and butter: the EFO
+all-pairs matrices (a Figure-10-style trivial + deblank ratio grid *and*
+a Figure-11-style deblank count grid — two figures sharing one dataset,
 exactly the cross-figure redundancy the store eliminates) plus a
 Figure-13-style consecutive-pair sweep (hybrid + overlap counts over a
-GtoPdb chain).  Three implementations are timed:
+GtoPdb chain).  Gates: snapshot reuse (store, jobs=1) is ≥ 1.3× over the
+per-cell seed path, and ≥ 2× end to end.
 
-* **seed path** — the pre-batch per-cell implementation: every cell
-  rebuilds the union, re-interns labels and re-runs the deblanking
-  refinement from scratch (kept verbatim in this file as the baseline);
-* **store path, jobs=1** — the :class:`VersionStore` batch path: per
-  version artifacts are materialized once and cells compose them;
-* **store path, jobs=4** — the same cells sharded over forked workers.
+**Shared-memory pool (jobs=N vs jobs=1)** — a scale-free synthetic
+all-pairs matrix sized so the serial run takes ≥ 5 s, executed through
+:func:`~repro.experiments.parallel.run_store_cells`: the parent
+publishes the store once into named shm segments, persistent workers
+attach by name, and only ``(cell, manifest, index)`` crosses the process
+boundary.  Gates: results byte-identical at jobs ∈ {1, 2, 4}, no leaked
+``/dev/shm`` segments, and — on machines with ≥ 4 usable CPUs — jobs=4
+is ≥ 2× over jobs=1.  On smaller machines the ratio is recorded
+(with the ``cpus`` context field) but not gated: a 1-CPU box cannot
+honestly run four workers faster than one.
 
-Gates (the acceptance criteria of the batch-execution change):
-
-* snapshot reuse alone (jobs=1) is ≥ 1.3× over the seed path,
-* end to end (best of jobs=1 / jobs=4) is ≥ 2× over the seed path,
-* the parallel results are byte-identical to the serial ones.
-
-A summary table is written to ``results/parallel_runner.txt`` and the
-measurements are appended to ``results/bench.json``.
+A summary table is written to ``results/parallel_runner.txt`` and every
+measurement is appended to ``results/bench.json``.
 """
 
 from __future__ import annotations
 
+import json
 import time
 
 from repro.align import AlignConfig
@@ -38,8 +40,15 @@ from repro.evaluation.metrics import (
     aligned_edge_ratio,
     matched_entity_count,
 )
-from repro.experiments.parallel import fork_available, run_sharded
-from repro.experiments.store import VersionStore
+from repro.experiments.cells import method_counts_cell
+from repro.experiments.parallel import (
+    fork_available,
+    run_sharded,
+    run_store_cells,
+    usable_cpus,
+)
+from repro.experiments.shm import list_segments, shm_available
+from repro.experiments.store import GENERATOR_FAMILIES, VersionStore
 from repro.model.union import combine
 from repro.partition.interner import ColorInterner
 from repro.similarity.overlap_alignment import overlap_partition
@@ -52,7 +61,18 @@ THETA = 0.65
 
 REQUIRED_SERIAL_SPEEDUP = 1.3
 REQUIRED_END_TO_END_SPEEDUP = 2.0
-PARALLEL_JOBS = 4
+
+#: The shm-pool workload: a scale-free synthetic history big enough that
+#: the all-pairs hybrid+overlap matrix takes ≥ MIN_SERIAL_SECONDS
+#: serially — the floor that makes the jobs=4 gate a statement about
+#: sustained throughput rather than pool start-up noise.
+SHM_FAMILY = "synthetic_scale_free"
+SHM_SCALE, SHM_SEED, SHM_VERSIONS = 6.0, 300, 10
+MIN_SERIAL_SECONDS = 5.0
+REQUIRED_POOL_SPEEDUP = 2.0
+POOL_GATE_CPUS = 4
+
+REPORT_PATH = "parallel_runner.txt"
 
 
 # ----------------------------------------------------------------------
@@ -115,7 +135,7 @@ def seed_path() -> tuple:
 # ----------------------------------------------------------------------
 # The batch path (fresh stores per run so every measurement starts cold)
 # ----------------------------------------------------------------------
-def store_path(jobs: int) -> tuple:
+def store_path(jobs: int = 1) -> tuple:
     efo_store = VersionStore(
         EFOGenerator(scale=EFO_SCALE, seed=EFO_SEED, versions=EFO_VERSIONS)
     )
@@ -176,42 +196,26 @@ def _timed(function) -> tuple[float, tuple]:
 
 
 def test_parallel_runner_speedup(results_dir):
-    """Acceptance gates for the batch-execution subsystem."""
+    """Acceptance gates for the batch-execution subsystem (store vs seed)."""
     seed_seconds, seed_result = _timed(seed_path)
-    serial_seconds, serial_result = _timed(lambda: store_path(jobs=1))
-    parallel_seconds, parallel_result = _timed(
-        lambda: store_path(jobs=PARALLEL_JOBS)
-    )
+    serial_seconds, serial_result = _timed(store_path)
 
     # Correctness before speed: the store path reproduces the seed path's
     # trivial/deblank/hybrid numbers exactly (they are theorems, not
-    # heuristics), and parallel results are byte-identical to serial.
+    # heuristics).
     seed_matrix, seed_counts, seed_pairs = seed_result
     serial_matrix, serial_counts, serial_pairs = serial_result
     assert tuple(serial_matrix) == seed_matrix
     assert tuple(serial_counts) == seed_counts
     assert tuple(r[:2] for r in serial_pairs) == tuple(r[:2] for r in seed_pairs)
-    for part in range(3):
-        assert tuple(parallel_result[part]) == tuple(serial_result[part])
 
     serial_speedup = seed_seconds / serial_seconds
-    best_seconds = min(serial_seconds, parallel_seconds)
-    end_to_end_speedup = seed_seconds / best_seconds
-
-    if (
-        serial_speedup < REQUIRED_SERIAL_SPEEDUP
-        or end_to_end_speedup < REQUIRED_END_TO_END_SPEEDUP
-    ):
+    if serial_speedup < max(REQUIRED_SERIAL_SPEEDUP, REQUIRED_END_TO_END_SPEEDUP):
         # One noisy measurement should not go red: best-of-3 re-measure.
         for _ in range(2):
             seed_seconds = min(seed_seconds, _timed(seed_path)[0])
-            serial_seconds = min(serial_seconds, _timed(lambda: store_path(1))[0])
-            parallel_seconds = min(
-                parallel_seconds, _timed(lambda: store_path(PARALLEL_JOBS))[0]
-            )
+            serial_seconds = min(serial_seconds, _timed(store_path)[0])
         serial_speedup = seed_seconds / serial_seconds
-        best_seconds = min(serial_seconds, parallel_seconds)
-        end_to_end_speedup = seed_seconds / best_seconds
 
     lines = [
         "Batch execution on the figure-matrix workload "
@@ -220,45 +224,149 @@ def test_parallel_runner_speedup(results_dir):
         "",
         f"{'path':>24} {'seconds':>9} {'speedup':>8}",
         f"{'seed (per-cell rebuild)':>24} {seed_seconds:>9.3f} {'1.00':>8}",
-        f"{'store, jobs=1':>24} {serial_seconds:>9.3f} "
-        f"{seed_seconds / serial_seconds:>8.2f}",
-        f"{f'store, jobs={PARALLEL_JOBS}':>24} {parallel_seconds:>9.3f} "
-        f"{seed_seconds / parallel_seconds:>8.2f}",
+        f"{'store, jobs=1':>24} {serial_seconds:>9.3f} {serial_speedup:>8.2f}",
         "",
         f"fork available: {fork_available()}",
-        "parallel results byte-identical to serial: True",
     ]
     report = "\n".join(lines) + "\n"
-    (results_dir / "parallel_runner.txt").write_text(report, encoding="utf-8")
+    (results_dir / REPORT_PATH).write_text(report, encoding="utf-8")
     print()
     print(report)
 
     record_bench("parallel_runner/seed_path", seed_seconds, speedup=1.0)
     record_bench(
-        "parallel_runner/store_jobs1", serial_seconds, speedup=serial_speedup
-    )
-    record_bench(
-        f"parallel_runner/store_jobs{PARALLEL_JOBS}",
-        parallel_seconds,
-        speedup=seed_seconds / parallel_seconds,
-    )
-    # Report-only (no gate): process fan-out currently buys ~nothing over
-    # jobs=1 on this workload — each forked worker re-derives the store
-    # artifacts its shard needs, so the grid's shared work is re-done per
-    # worker.  Recording the ratio keeps the regression visible in the
-    # performance trajectory until a shared-memory store lands; gating it
-    # would go red on every run without telling anyone anything new.
-    record_bench(
-        f"parallel_runner/jobs{PARALLEL_JOBS}_vs_jobs1",
-        parallel_seconds,
-        speedup=serial_seconds / parallel_seconds,
+        "parallel_runner/store_batch", serial_seconds, speedup=serial_speedup,
+        baseline_seconds=seed_seconds,
     )
 
     assert serial_speedup >= REQUIRED_SERIAL_SPEEDUP, (
         f"snapshot reuse alone gives {serial_speedup:.2f}x, below the "
         f"required {REQUIRED_SERIAL_SPEEDUP}x"
     )
-    assert end_to_end_speedup >= REQUIRED_END_TO_END_SPEEDUP, (
-        f"end-to-end batch speedup {end_to_end_speedup:.2f}x is below the "
+    assert serial_speedup >= REQUIRED_END_TO_END_SPEEDUP, (
+        f"end-to-end batch speedup {serial_speedup:.2f}x is below the "
         f"required {REQUIRED_END_TO_END_SPEEDUP}x"
     )
+
+
+# ----------------------------------------------------------------------
+# The shared-memory pool gate (jobs=N vs jobs=1 on one published store)
+# ----------------------------------------------------------------------
+def _fresh_shm_store() -> VersionStore:
+    """A cold store over the (cached) shm workload generator.
+
+    The generator is shared so graph synthesis is paid once per session;
+    the store itself is rebuilt per measurement so every run derives its
+    alignment artifacts from scratch — no measurement inherits another's
+    warm caches.
+    """
+    generator = GENERATOR_FAMILIES[SHM_FAMILY].shared(
+        scale=SHM_SCALE, seed=SHM_SEED, versions=SHM_VERSIONS
+    )
+    store = VersionStore(generator)
+    store.prepare(summaries=True, tokens=("deblank",))
+    return store
+
+
+def _shm_measure(jobs: int) -> tuple[float, list]:
+    pairs = [
+        (source, target)
+        for source in range(SHM_VERSIONS)
+        for target in range(source, SHM_VERSIONS)
+    ]
+    store = _fresh_shm_store()
+    config = AlignConfig(theta=THETA)
+    started = time.perf_counter()
+    # force=True pins the pool at the requested width even below the
+    # economics threshold — the measurement *is* the point here.
+    rows = run_store_cells(
+        store, method_counts_cell, pairs,
+        jobs=jobs, config=config, force=jobs > 1,
+    )
+    return time.perf_counter() - started, rows
+
+
+def test_shm_pool_gate(results_dir):
+    """jobs ∈ {1, 2, 4} over one published store: identical bytes, no
+    leaked segments, and ≥ 2× at jobs=4 on machines with ≥ 4 CPUs."""
+    assert shm_available(), "POSIX shared memory is required for this bench"
+
+    seconds: dict[int, float] = {}
+    results: dict[int, list] = {}
+    for jobs in (1, 2, 4):
+        seconds[jobs], results[jobs] = _shm_measure(jobs)
+
+    # Byte-identity across every job count — the pool's determinism
+    # contract, asserted unconditionally (CPU count is irrelevant to it).
+    serial_blob = json.dumps(results[1], sort_keys=True)
+    for jobs in (2, 4):
+        assert json.dumps(results[jobs], sort_keys=True) == serial_blob, (
+            f"jobs={jobs} results differ from serial"
+        )
+
+    # Cleanup contract: every pool unlinked its segments on close.
+    leaked = list_segments()
+    assert leaked == [], f"leaked shm segments: {leaked}"
+
+    cpus = usable_cpus()
+    gate_active = cpus >= POOL_GATE_CPUS
+    speedup4 = seconds[1] / seconds[4]
+    if gate_active and speedup4 < REQUIRED_POOL_SPEEDUP:
+        # One noisy measurement should not go red: best-of-3 re-measure.
+        for _ in range(2):
+            seconds[1] = min(seconds[1], _shm_measure(1)[0])
+            seconds[4] = min(seconds[4], _shm_measure(4)[0])
+        speedup4 = seconds[1] / seconds[4]
+
+    lines = [
+        "",
+        "Shared-memory pool on the synthetic all-pairs workload "
+        f"({SHM_FAMILY} @ scale {SHM_SCALE}, "
+        f"{SHM_VERSIONS}x{SHM_VERSIONS} matrix)",
+        "",
+        f"{'path':>24} {'seconds':>9} {'speedup':>8}",
+        f"{'store, jobs=1':>24} {seconds[1]:>9.3f} {'1.00':>8}",
+        f"{'store, jobs=2':>24} {seconds[2]:>9.3f} "
+        f"{seconds[1] / seconds[2]:>8.2f}",
+        f"{'store, jobs=4':>24} {seconds[4]:>9.3f} {speedup4:>8.2f}",
+        "",
+        f"usable cpus: {cpus}",
+        f"serial floor (>= {MIN_SERIAL_SECONDS:.0f}s): "
+        f"{'met' if seconds[1] >= MIN_SERIAL_SECONDS else 'NOT met'} "
+        f"({seconds[1]:.1f}s)",
+        f"jobs=4 gate (>= {REQUIRED_POOL_SPEEDUP}x): "
+        + (
+            "ACTIVE"
+            if gate_active
+            else f"recorded only ({cpus} < {POOL_GATE_CPUS} usable CPUs — "
+            "four workers cannot beat one on this machine)"
+        ),
+        "results byte-identical at jobs=1/2/4: True",
+        "leaked shm segments: none",
+    ]
+    report = "\n".join(lines) + "\n"
+    path = results_dir / REPORT_PATH
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(report)
+    print()
+    print(report)
+
+    record_bench(
+        "parallel_runner/store_jobs1", seconds[1], speedup=1.0,
+        jobs=1, cpus=cpus,
+    )
+    record_bench(
+        "parallel_runner/store_jobs2", seconds[2],
+        speedup=seconds[1] / seconds[2],
+        baseline_seconds=seconds[1], jobs=2, cpus=cpus,
+    )
+    record_bench(
+        "parallel_runner/store_jobs4", seconds[4], speedup=speedup4,
+        baseline_seconds=seconds[1], jobs=4, cpus=cpus,
+    )
+
+    if gate_active:
+        assert speedup4 >= REQUIRED_POOL_SPEEDUP, (
+            f"jobs=4 gives {speedup4:.2f}x over jobs=1 on {cpus} CPUs, "
+            f"below the required {REQUIRED_POOL_SPEEDUP}x"
+        )

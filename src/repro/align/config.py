@@ -70,6 +70,13 @@ class AlignConfig:
         scratch.  Never affects results, only wall-clock — the
         differential oracle's incremental axis pins byte-identical
         reports.
+    backend:
+        Path of a persisted version-store archive
+        (:mod:`repro.experiments.persist`).  When set, figure
+        experiments *load* their :class:`~repro.experiments.store.
+        VersionStore` from the archive instead of regenerating the
+        dataset — byte-identical results, restart-surviving artifacts.
+        ``None`` (the default) keeps everything in memory.
     """
 
     method: str = "hybrid"
@@ -79,6 +86,7 @@ class AlignConfig:
     splitter: Callable[[str], frozenset] = split_words
     jobs: int = 1
     incremental: bool = False
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         from ..core.dense import resolve_refine_engine
@@ -118,6 +126,15 @@ class AlignConfig:
             raise ConfigError(
                 f"incremental must be a boolean, got {self.incremental!r}"
             )
+        if self.backend is not None:
+            import os
+
+            if isinstance(self.backend, os.PathLike):
+                object.__setattr__(self, "backend", os.fspath(self.backend))
+            elif not isinstance(self.backend, str):
+                raise ConfigError(
+                    f"backend must be a path string or None, got {self.backend!r}"
+                )
 
     # ------------------------------------------------------------------
     def evolve(self, **changes) -> "AlignConfig":
@@ -156,4 +173,5 @@ class AlignConfig:
             "splitter": self.splitter_name,
             "jobs": self.jobs,
             "incremental": self.incremental,
+            "backend": self.backend,
         }

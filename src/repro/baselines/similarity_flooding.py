@@ -62,12 +62,41 @@ class FloodingResult:
         }
 
 
+def _canonical_nodes(graph: CombinedGraph, nodes) -> list[NodeId]:
+    """*nodes* sorted by their own-version identifier's repr.
+
+    Flooding is order-sensitive where bisimulation is not: the similarity
+    table's iteration order decides tie-breaking in :meth:`FloodingResult.
+    best_matches` and the float summation order of the propagation step.
+    Node sets are hash-ordered (and insertion order differs between a
+    generated graph and the same graph reloaded from canonical N-Triples),
+    so every iteration below is pinned to this canonical order to make the
+    result a function of the graph's *content* only.
+    """
+    return sorted(nodes, key=lambda node: repr(graph.original(node)))
+
+
+def _canonical_edges(graph: CombinedGraph) -> list[tuple[NodeId, NodeId, NodeId]]:
+    """The union's edges in a content-determined order (see above)."""
+    def key(edge):
+        subject, predicate, obj = edge
+        return (
+            graph.side(subject),
+            repr(graph.original(subject)),
+            repr(graph.original(predicate)),
+            repr(graph.original(obj)),
+        )
+
+    return sorted(graph.edges(), key=key)
+
+
 def _initial_similarities(graph: CombinedGraph) -> SimilarityTable:
     """Seed: 1.0 for equal non-blank labels, a small ε for same-kind pairs."""
     table: SimilarityTable = {}
-    for source in graph.source_nodes:
+    targets = _canonical_nodes(graph, graph.target_nodes)
+    for source in _canonical_nodes(graph, graph.source_nodes):
         source_label = graph.label(source)
-        for target in graph.target_nodes:
+        for target in targets:
             target_label = graph.label(target)
             if source_label == target_label and not is_blank(source_label):
                 table[(source, target)] = 1.0
@@ -99,9 +128,10 @@ def similarity_flooding(
     table = dict(initial) if initial is not None else _initial_similarities(graph)
     seed = dict(table)
 
-    # Propagation edges: ((a,a'), (b,b'), coefficient), built once.
+    # Propagation edges: ((a,a'), (b,b'), coefficient), built once, in
+    # canonical edge order so the summation below is bit-reproducible.
     by_predicate_source: dict = {}
-    for subject, predicate, obj in graph.edges():
+    for subject, predicate, obj in _canonical_edges(graph):
         by_predicate_source.setdefault(
             (graph.side(subject), graph.label(predicate)), []
         ).append((subject, obj))

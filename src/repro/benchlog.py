@@ -19,8 +19,18 @@ import os
 def append_bench_entry(
     path: str | os.PathLike, name: str, seconds: float,
     speedup: float | None = None,
+    baseline_seconds: float | None = None,
+    jobs: int | None = None,
+    cpus: int | None = None,
 ) -> bool:
     """Append one ``{"name", "seconds", "speedup"}`` row to *path*.
+
+    Comparison benches may also record the context their ratio was
+    measured in — ``baseline_seconds`` (the jobs=1 denominator),
+    ``jobs`` and ``cpus`` — so trajectory tooling can tell "slower
+    machine" from "real regression".  The extra keys are additive: rows
+    without them keep the historical three-key shape, so old readers
+    keep working.
 
     A missing, corrupt or wrong-shaped file is replaced by a fresh list
     (non-dict entries are dropped), and an unreadable/unwritable target
@@ -34,13 +44,18 @@ def append_bench_entry(
             entries = [entry for entry in loaded if isinstance(entry, dict)]
     except (OSError, ValueError):
         pass
-    entries.append(
-        {
-            "name": name,
-            "seconds": round(float(seconds), 6),
-            "speedup": None if speedup is None else round(float(speedup), 3),
-        }
-    )
+    entry = {
+        "name": name,
+        "seconds": round(float(seconds), 6),
+        "speedup": None if speedup is None else round(float(speedup), 3),
+    }
+    if baseline_seconds is not None:
+        entry["baseline_seconds"] = round(float(baseline_seconds), 6)
+    if jobs is not None:
+        entry["jobs"] = int(jobs)
+    if cpus is not None:
+        entry["cpus"] = int(cpus)
+    entries.append(entry)
     try:
         parent = os.path.dirname(os.fspath(path))
         if parent:

@@ -15,7 +15,11 @@ Subcommands
     operators), write every version as N-Triples plus a manifest, and
     optionally run the differential oracle on it (``--check``).
 ``experiment``
-    Run paper-figure experiments and save reports.
+    Run paper-figure experiments and save reports (``--store`` loads the
+    VersionStore from a persisted archive).
+``store``
+    Persist a dataset's VersionStore to disk (``save``), reload and
+    summarize it (``load``), or list an archive's keys (``ls``).
 
 Every alignment flag is collected into one
 :class:`~repro.align.config.AlignConfig` and handed to the session API —
@@ -207,6 +211,39 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment_cmd.add_argument(
         "--no-check", action="store_true", help="skip the shape checks"
     )
+    experiment_cmd.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="load the experiments' VersionStore from a persisted archive "
+        "(see 'rdf-align store save') instead of regenerating the dataset; "
+        "results are byte-identical either way",
+    )
+
+    store_cmd = commands.add_parser(
+        "store", help="persist/inspect a VersionStore archive on disk"
+    )
+    store_actions = store_cmd.add_subparsers(dest="store_command", required=True)
+    store_save = store_actions.add_parser(
+        "save", help="materialize a dataset's version store and write it to disk"
+    )
+    store_save.add_argument(
+        "--family",
+        required=True,
+        help="dataset family (efo/gtopdb/dbpedia or synthetic_<shape>)",
+    )
+    store_save.add_argument("--scale", type=float, default=0.35)
+    store_save.add_argument("--seed", type=int, default=234)
+    store_save.add_argument("--versions", type=int, default=10)
+    store_save.add_argument("--out", required=True, help="archive directory")
+    store_load = store_actions.add_parser(
+        "load", help="reload a persisted store and print its contents"
+    )
+    store_load.add_argument("path", help="archive directory")
+    store_ls = store_actions.add_parser(
+        "ls", help="list the keys of a persisted store archive"
+    )
+    store_ls.add_argument("path", help="archive directory")
     return parser
 
 
@@ -412,6 +449,8 @@ def _command_experiment(args: argparse.Namespace) -> int:
         value = getattr(args, key)
         if value is not None:
             overrides[key] = value
+    if args.store is not None:
+        overrides["backend"] = args.store
     config = AlignConfig().evolve(**overrides) if overrides else None
     parameters = {}
     for key in ("scale", "seed"):
@@ -433,6 +472,39 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_store(args: argparse.Namespace) -> int:
+    from .experiments.persist import DiskBackend, describe
+    from .experiments.store import VersionStore
+
+    if args.store_command == "save":
+        store = VersionStore.shared(
+            args.family, scale=args.scale, seed=args.seed, versions=args.versions
+        )
+        store.prepare(summaries=True, tokens=("trivial", "deblank"), csr=True)
+        store.save(args.out)
+        print(
+            f"saved {args.family} store (scale={args.scale}, seed={args.seed}, "
+            f"versions={args.versions}) to {args.out}"
+        )
+    elif args.store_command == "load":
+        store = VersionStore.load(args.path)
+        identity = store.identity or {}
+        described = ", ".join(
+            f"{key}={value}" for key, value in sorted(identity.items())
+        )
+        print(f"loaded store: {described or f'versions={store.versions}'}")
+        for version in range(store.versions):
+            stats = store.graph(version).stats()
+            print(
+                f"  v{version + 1}: {stats.num_edges} triples, "
+                f"{stats.num_nodes} nodes"
+            )
+    else:  # ls
+        for line in describe(DiskBackend.open(args.path)):
+            print(line)
+    return 0
+
+
 _COMMANDS = {
     "align": _command_align,
     "delta": _command_delta,
@@ -440,6 +512,7 @@ _COMMANDS = {
     "generate": _command_generate,
     "synth": _command_synth,
     "experiment": _command_experiment,
+    "store": _command_store,
 }
 
 

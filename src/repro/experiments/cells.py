@@ -1,0 +1,65 @@
+"""Module-level matrix-cell functions for the shared-memory pool.
+
+:func:`~repro.experiments.parallel.run_store_cells` ships its cell
+callable to the workers *by reference* (module + qualified name), which
+is what lets the pool run under the ``spawn`` start method — closures
+over a parent-local store cannot cross that boundary.  Every cell here
+is a pure, deterministic function of ``(store, config, item)`` over the
+store's immutable artifacts, so serial and sharded runs agree
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from ..align.config import AlignConfig
+from ..evaluation.metrics import (
+    aligned_edge_count,
+    ground_truth_entity_count,
+    matched_entity_count,
+    total_entity_count,
+)
+
+_DEFAULT_CONFIG = AlignConfig()
+
+
+def edge_ratio_cell(store, config, pair: tuple[int, int]) -> tuple[float, float]:
+    """Figure 10: ``(trivial, deblank)`` aligned-edge ratios of one pair."""
+    source, target = pair
+    return (
+        store.aligned_edge_ratio(source, target, "trivial"),
+        store.aligned_edge_ratio(source, target, "deblank"),
+    )
+
+
+def method_counts_cell(store, config, pair: tuple[int, int]) -> tuple[int, int, int]:
+    """Figure 11: ``(deblank, hybrid, overlap)`` aligned-edge counts.
+
+    Deblank needs no union at all; hybrid and overlap run over the
+    store's memoized cell context (shared snapshot + composed base).
+    """
+    config = config or _DEFAULT_CONFIG
+    source, target = pair
+    deblank_count = store.aligned_edge_count(source, target, "deblank")
+    context = store.cell_context(source, target, config)
+    weighted, _ = store.overlap_result(source, target, config)
+    return (
+        deblank_count,
+        aligned_edge_count(context.union, context.hybrid),
+        aligned_edge_count(context.union, weighted.partition),
+    )
+
+
+def entity_counts_cell(store, config, index: int) -> dict:
+    """Figure 13: aligned node counts of the consecutive pair at *index*."""
+    config = config or _DEFAULT_CONFIG
+    context = store.cell_context(index, index + 1, config)
+    weighted, _ = store.overlap_result(index, index + 1, config)
+    truth = store.ground_truth(index, index + 1)
+    union = context.union
+    return {
+        "pair": f"{index + 1}->{index + 2}",
+        "hybrid": matched_entity_count(union, context.hybrid),
+        "overlap": matched_entity_count(union, weighted.partition),
+        "gtopdb": ground_truth_entity_count(union, truth),
+        "total": total_entity_count(union, truth),
+    }

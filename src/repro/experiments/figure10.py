@@ -14,7 +14,8 @@ from ..align.config import AlignConfig
 from ..evaluation.matrices import VersionMatrix, gradient_violations
 from ..evaluation.reporting import render_matrix
 from .base import ExperimentResult
-from .parallel import run_sharded
+from .cells import edge_ratio_cell
+from .parallel import run_store_cells
 from .store import VersionStore
 
 FIGURE = "Figure 10"
@@ -24,7 +25,10 @@ TITLE = "Trivial and Deblank alignments (EFO): aligned-edge ratios"
 def run(
     scale: float = 0.35, seed: int = 234, versions: int = 10, config: AlignConfig | None = None
 ) -> ExperimentResult:
-    store = VersionStore.shared("efo", scale=scale, seed=seed, versions=versions)
+    store = VersionStore.shared(
+        "efo", scale=scale, seed=seed, versions=versions,
+        backend=config.backend if config else None,
+    )
     # Once-per-version work up front: the cells below are pure set algebra
     # over these artifacts (no union graph, no node-level refinement).
     store.prepare(summaries=True, tokens=("trivial", "deblank"))
@@ -34,17 +38,14 @@ def run(
         for target in range(source, versions)
     ]
 
-    def cell(pair: tuple[int, int]) -> tuple[float, float]:
-        source, target = pair
-        return (
-            store.aligned_edge_ratio(source, target, "trivial"),
-            store.aligned_edge_ratio(source, target, "deblank"),
-        )
-
     trivial_matrix = VersionMatrix(size=versions)
     deblank_matrix = VersionMatrix(size=versions)
     for (source, target), (trivial_value, deblank_value) in zip(
-        pairs, run_sharded(cell, pairs, jobs=(config.jobs if config else 1))
+        pairs,
+        run_store_cells(
+            store, edge_ratio_cell, pairs,
+            jobs=(config.jobs if config else 1), config=config,
+        ),
     ):
         for pair in {(source, target), (target, source)}:
             trivial_matrix[pair] = trivial_value

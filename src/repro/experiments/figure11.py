@@ -12,10 +12,10 @@ from __future__ import annotations
 
 from ..align.config import AlignConfig
 from ..evaluation.matrices import VersionMatrix, difference_matrix
-from ..evaluation.metrics import aligned_edge_count
 from ..evaluation.reporting import render_matrix
 from .base import ExperimentResult
-from .parallel import run_sharded
+from .cells import method_counts_cell
+from .parallel import run_store_cells
 from .store import VersionStore
 
 FIGURE = "Figure 11"
@@ -29,7 +29,9 @@ def run(
     config: AlignConfig | None = None,
 ) -> ExperimentResult:
     config = config or AlignConfig()
-    store = VersionStore.shared("efo", scale=scale, seed=seed, versions=versions)
+    store = VersionStore.shared(
+        "efo", scale=scale, seed=seed, versions=versions, backend=config.backend
+    )
     store.prepare(
         summaries=True, tokens=("deblank",), csr=config.engine == "dense"
     )
@@ -42,21 +44,11 @@ def run(
         for target in range(source, versions)
     ]
 
-    def cell(pair: tuple[int, int]) -> tuple[int, int, int]:
-        source, target = pair
-        # Deblank needs no union at all; hybrid and overlap run over the
-        # store's memoized cell context (shared snapshot + composed base).
-        deblank_count = store.aligned_edge_count(source, target, "deblank")
-        context = store.cell_context(source, target, config)
-        weighted, _ = store.overlap_result(source, target, config)
-        return (
-            deblank_count,
-            aligned_edge_count(context.union, context.hybrid),
-            aligned_edge_count(context.union, weighted.partition),
-        )
-
     for (source, target), counts in zip(
-        pairs, run_sharded(cell, pairs, jobs=config.jobs)
+        pairs,
+        run_store_cells(
+            store, method_counts_cell, pairs, jobs=config.jobs, config=config
+        ),
     ):
         deblank_count, hybrid_count, overlap_count = counts
         for pair in {(source, target), (target, source)}:

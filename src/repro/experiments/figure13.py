@@ -11,14 +11,10 @@ versions 3 and 4 (the insertion burst) and nearly vanishes between 7 and 8
 from __future__ import annotations
 
 from ..align.config import AlignConfig
-from ..evaluation.metrics import (
-    ground_truth_entity_count,
-    matched_entity_count,
-    total_entity_count,
-)
 from ..evaluation.reporting import render_table
 from .base import ExperimentResult
-from .parallel import run_sharded
+from .cells import entity_counts_cell
+from .parallel import run_store_cells
 from .store import VersionStore
 
 FIGURE = "Figure 13"
@@ -34,21 +30,15 @@ def run(
     config = config or AlignConfig()
     store = VersionStore.shared("gtopdb", scale=scale, seed=seed, versions=versions)
     store.prepare(summaries=True, csr=config.engine == "dense")
+    # Ground truth is generator-derived, not part of a published store:
+    # warm it here so pool workers find it in the shared manifest.
+    for index in range(versions - 1):
+        store.ground_truth(index, index + 1)
 
-    def pair_row(index: int) -> dict:
-        context = store.cell_context(index, index + 1, config)
-        weighted, _ = store.overlap_result(index, index + 1, config)
-        truth = store.ground_truth(index, index + 1)
-        union = context.union
-        return {
-            "pair": f"{index + 1}->{index + 2}",
-            "hybrid": matched_entity_count(union, context.hybrid),
-            "overlap": matched_entity_count(union, weighted.partition),
-            "gtopdb": ground_truth_entity_count(union, truth),
-            "total": total_entity_count(union, truth),
-        }
-
-    rows = run_sharded(pair_row, range(versions - 1), jobs=config.jobs)
+    rows = run_store_cells(
+        store, entity_counts_cell, range(versions - 1),
+        jobs=config.jobs, config=config,
+    )
     rendered = render_table(
         ["pair", "Hybrid", "Overlap", "GtoPdb", "Total"],
         [

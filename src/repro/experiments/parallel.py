@@ -2,35 +2,57 @@
 
 The paper's evaluation (Figures 9–16) is dominated by *matrices* of
 alignment runs: every cell of a version-pair grid is an independent
-computation over immutable per-version artifacts.  :func:`run_sharded`
-fans such cells out over a pool of worker processes and merges the
-results in deterministic (submission) order, so ``jobs=4`` produces
-byte-identical reports to ``jobs=1``.
+computation over immutable per-version artifacts.  Two execution paths
+fan such cells out over worker processes, both merging results in
+deterministic (submission) order so ``jobs=4`` produces byte-identical
+reports to ``jobs=1``:
 
-Design notes
-------------
+* :func:`run_sharded` — the legacy copy-on-write path: a fork-based pool
+  created per call, workers inheriting the parent's prepared artifacts.
+  Kept for callables that close over arbitrary state; fork-only.
+* :class:`SharedStorePool` / :func:`run_store_cells` — the
+  shared-memory path.  The parent publishes a
+  :class:`~repro.experiments.store.VersionStore`'s artifacts into named
+  ``multiprocessing.shared_memory`` segments **once**
+  (:meth:`VersionStore.publish_shared`); a persistent pool of workers
+  attaches by name (CSR index arrays as zero-copy numpy views), so only
+  ``(cell, items_manifest, index)`` ever crosses the process boundary.
+  This works under both ``fork`` and ``spawn`` start methods — segment
+  names are picklable — which is what makes the pool usable on
+  platforms without ``fork``.
 
-* Workers are created with the ``fork`` start method: the parent prepares
-  the shared artifacts (dataset versions, CSR snapshots, the
-  :class:`~repro.experiments.store.VersionStore`) *before* the pool
-  starts, and every worker inherits them copy-on-write — no pickling of
-  graphs, no per-worker re-generation, and the forked children share the
-  parent's hash seed so set-iteration order (and therefore every interned
-  color) matches the serial run exactly.
-* The task callable and item list are handed to workers through module
-  globals captured at fork time; only the item *index* crosses the
-  process boundary on the way in, and only the (picklable) cell result on
-  the way out.
-* Platforms without ``fork`` (and nested pools) quietly fall back to the
-  serial path — results are identical either way, that is the contract.
+Overhead-aware scheduling
+-------------------------
+
+Forking at a loss is the failure mode this module replaces (the old
+per-call fork pool re-pickled graphs until ``jobs=4`` ran 2.3x *slower*
+than serial).  :func:`effective_jobs` therefore refuses to shard when
+the projected parallel saving — ``est_cell_seconds × cells × (1 −
+1/workers)`` against the *measured* pool start/attach overhead
+(:func:`pool_overhead`) — cannot pay for the pool.
+:func:`run_store_cells` autotunes the estimate by timing the first cell
+when the caller has none.
+
+Cleanup guarantees
+------------------
+
+The pool owns one :class:`~repro.experiments.shm.ShmRegistry`; its
+``close()`` (and context-manager exit) first drains the workers, then
+unlinks every published segment — on success, on exception, and after a
+worker crash (a killed worker surfaces as ``BrokenProcessPool`` and the
+``finally`` path still unlinks).  No run leaks ``/dev/shm`` entries.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence, TypeVar
+
+from ..exceptions import ExperimentError
+from .shm import ShmRegistry, attach_pickle, shm_available
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
@@ -42,16 +64,71 @@ _ITEMS: Sequence | None = None
 #: Set inside workers so nested ``run_sharded`` calls stay serial.
 _IN_WORKER = False
 
+#: Measured pool start/attach overhead in seconds (``None`` = not yet
+#: measured).  Tests monkeypatch this to pin scheduling decisions.
+_MEASURED_OVERHEAD: float | None = None
 
-def effective_jobs(jobs: int | None, cells: int) -> int:
+#: Fallback overhead when measurement itself fails (pool unavailable).
+_DEFAULT_OVERHEAD = 0.05
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _noop() -> None:
+    return None
+
+
+def pool_overhead() -> float:
+    """The measured cost (seconds) of starting and draining a pool.
+
+    Measured once per process by round-tripping a no-op through a
+    two-worker pool — the price :func:`effective_jobs` demands the
+    projected parallel saving beat before it agrees to shard.
+    """
+    global _MEASURED_OVERHEAD
+    if _MEASURED_OVERHEAD is None:
+        method = "fork" if fork_available() else "spawn"
+        start = time.perf_counter()
+        try:
+            context = multiprocessing.get_context(method)
+            with ProcessPoolExecutor(max_workers=2, mp_context=context) as pool:
+                pool.submit(_noop).result()
+            _MEASURED_OVERHEAD = time.perf_counter() - start
+        except Exception:  # pragma: no cover - no subprocess support
+            _MEASURED_OVERHEAD = _DEFAULT_OVERHEAD
+    return _MEASURED_OVERHEAD
+
+
+def effective_jobs(
+    jobs: int | None, cells: int, est_cell_seconds: float | None = None
+) -> int:
     """Clamp a ``jobs`` request to something worth forking for.
 
-    ``None`` or ``0`` means "one worker per CPU"; anything is capped by
-    the number of cells (a worker without a cell is pure fork overhead).
+    ``None`` or ``0`` means "one worker per usable CPU"; anything is
+    capped by the number of cells (a worker without a cell is pure
+    startup overhead).  When the caller knows (or has measured) the
+    per-cell cost, pass *est_cell_seconds*: the request is then refused
+    entirely (result ``1``) unless the projected saving —
+    ``est × cells × (1 − 1/workers)`` with ``workers`` capped at the
+    usable CPUs — exceeds the measured :func:`pool_overhead`.
     """
     if jobs is None or jobs <= 0:
-        jobs = os.cpu_count() or 1
-    return max(1, min(jobs, cells))
+        jobs = usable_cpus()
+    jobs = max(1, min(jobs, cells))
+    if jobs > 1 and est_cell_seconds is not None:
+        workers = min(jobs, usable_cpus())
+        if workers <= 1:
+            return 1
+        saving = est_cell_seconds * cells * (1.0 - 1.0 / workers)
+        if saving <= pool_overhead():
+            return 1
+    return jobs
 
 
 def fork_available() -> bool:
@@ -98,3 +175,180 @@ def run_sharded(
             return list(pool.map(_invoke, range(len(items))))
     finally:
         _TASK, _ITEMS = previous
+
+
+# ----------------------------------------------------------------------
+# The shared-memory pool (fork and spawn)
+# ----------------------------------------------------------------------
+
+#: Worker-side state, set once by the pool initializer.
+_WORKER_STORE = None
+_WORKER_CONFIG = None
+
+#: Worker-side cache of the current map call's attached item list,
+#: keyed by its segment name (one live map at a time).
+_WORKER_ITEMS: dict = {}
+
+
+def _pool_init(store_manifest: dict, config) -> None:
+    """Worker initializer: attach the published store exactly once.
+
+    Runs in every worker under both start methods — the manifest is a
+    small picklable dict of segment names, so nothing heavy crosses the
+    ``spawn`` boundary either.
+    """
+    global _IN_WORKER, _WORKER_STORE, _WORKER_CONFIG
+    from .store import VersionStore
+
+    _IN_WORKER = True
+    _WORKER_STORE = VersionStore.from_manifest(store_manifest)
+    _WORKER_CONFIG = config
+
+
+def _pool_invoke(cell: Callable, items_manifest: dict, index: int):
+    """One cell, executed in a pool worker against the attached store."""
+    key = items_manifest.get("name") or ""
+    items = _WORKER_ITEMS.get(key)
+    if items is None:
+        items = attach_pickle(items_manifest)
+        _WORKER_ITEMS.clear()  # previous map's items are dead weight
+        _WORKER_ITEMS[key] = items
+    return cell(_WORKER_STORE, _WORKER_CONFIG, items[index])
+
+
+class SharedStorePool:
+    """A persistent worker pool attached to one published VersionStore.
+
+    The constructor publishes the store's artifacts into a private
+    :class:`~repro.experiments.shm.ShmRegistry` and starts *jobs*
+    workers whose initializer attaches the segments by name; every
+    subsequent :meth:`map` call ships only a cell callable (pickled by
+    reference — use module-level functions, see
+    :mod:`repro.experiments.cells`), the item list (published once as a
+    single shm pickle) and per-task integer indices.
+
+    Use as a context manager; :meth:`close` drains the workers and
+    unlinks every segment, and runs on success, exception and worker
+    crash alike.
+    """
+
+    def __init__(
+        self,
+        store,
+        jobs: int,
+        config=None,
+        context: str | None = None,
+    ) -> None:
+        if not shm_available():  # pragma: no cover - POSIX-only fallback
+            raise ExperimentError("shared memory is not available on this platform")
+        if jobs < 1:
+            raise ExperimentError(f"a pool needs at least one worker, got {jobs}")
+        method = context or ("fork" if fork_available() else "spawn")
+        if method not in multiprocessing.get_all_start_methods():
+            raise ExperimentError(f"start method {method!r} is unavailable")
+        self.jobs = jobs
+        self._registry = ShmRegistry()
+        self._pool: ProcessPoolExecutor | None = None
+        try:
+            manifest = store.publish_shared(self._registry)
+            self._pool = ProcessPoolExecutor(
+                max_workers=jobs,
+                mp_context=multiprocessing.get_context(method),
+                initializer=_pool_init,
+                initargs=(manifest, config),
+            )
+        except BaseException:
+            self.close()
+            raise
+
+    def map(self, cell: Callable, items: Sequence) -> list:
+        """``[cell(store, config, item) for item in items]`` in the pool.
+
+        Deterministic merge: results come back in item order.  The item
+        list is published once into a transient segment that is unlinked
+        as soon as every result is in.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if self._pool is None:
+            raise ExperimentError("the pool is closed")
+        with ShmRegistry() as transient:
+            manifest = transient.publish_pickle(items)
+            futures = [
+                self._pool.submit(_pool_invoke, cell, manifest, index)
+                for index in range(len(items))
+            ]
+            return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Drain the workers and unlink every published segment."""
+        try:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+        finally:
+            self._registry.unlink()
+
+    def __enter__(self) -> "SharedStorePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def run_store_cells(
+    store,
+    cell: Callable,
+    items: Sequence,
+    *,
+    jobs: int | None = 1,
+    config=None,
+    context: str | None = None,
+    est_cell_seconds: float | None = None,
+    force: bool = False,
+) -> list:
+    """``[cell(store, config, item) for item in items]``, shm-sharded.
+
+    The store-aware successor of :func:`run_sharded`: *cell* must be a
+    module-level function of ``(store, config, item)`` (picklable by
+    reference, so the pool works under ``spawn`` too).  Serial and
+    parallel runs produce identical results — cells are deterministic
+    functions of the store's immutable artifacts.
+
+    Scheduling is overhead-aware: without *est_cell_seconds* the first
+    cell is timed in-process and used as the estimate; the pool only
+    starts when :func:`effective_jobs` projects a net saving.  *force*
+    skips that economics check (parity tests on small workloads) but
+    never the correctness fallbacks (nested calls, missing shm).
+    """
+    items = list(items)
+    if not items:
+        return []
+
+    def serial(remaining: Sequence) -> list:
+        return [cell(store, config, item) for item in remaining]
+
+    if _IN_WORKER or not shm_available():
+        return serial(items)
+    requested = effective_jobs(jobs, len(items))
+    if requested <= 1:
+        return serial(items)
+    if force:
+        with SharedStorePool(store, jobs=requested, config=config, context=context) as pool:
+            return pool.map(cell, items)
+
+    head: list = []
+    rest = items
+    if est_cell_seconds is None:
+        start = time.perf_counter()
+        head = serial(items[:1])
+        est_cell_seconds = time.perf_counter() - start
+        rest = items[1:]
+        if not rest:
+            return head
+    worthwhile = effective_jobs(jobs, len(rest), est_cell_seconds=est_cell_seconds)
+    if worthwhile <= 1:
+        return head + serial(rest)
+    with SharedStorePool(store, jobs=worthwhile, config=config, context=context) as pool:
+        return head + pool.map(cell, rest)

@@ -1,0 +1,307 @@
+"""Pluggable persistence backends for the :class:`VersionStore`.
+
+The figure grids, the alignment service and the CLI all derive their
+artifacts from a :class:`~repro.experiments.store.VersionStore`; until
+now every process rebuilt that store from scratch.  Following the
+same-interface in-memory/on-disk index idiom of pygr's NLMSA (see
+SNIPPETS.md) and the batch named-graph import/export design of
+ArangoRDF, this module provides two backends with an identical surface:
+
+* :class:`MemoryBackend` — plain dicts; the default, and the reference
+  the disk backend is differentially tested against (the oracle's
+  ``--axis persistence`` pins byte-identical
+  :class:`~repro.align.report.AlignmentReport` outputs across the two).
+* :class:`DiskBackend` — a directory of raw little-endian block files
+  plus one JSON manifest.  Index arrays are written as flat int64 block
+  files and read back as **read-only memory-mapped NumPy views**, so a
+  reloaded store pays no parse cost for its CSR blocks and many
+  processes can serve the same archive concurrently; graphs travel as
+  canonical sorted N-Triples (deterministic bytes), Python-object
+  artifacts (deblank summaries, edge tokens) as pickles.
+
+The backend speaks four key/value planes — ``blob`` (bytes), ``array``
+(flat int64 blocks), ``json`` (small structured values) and the derived
+``reports`` convenience — all addressed by forward-slash keys.  Writers
+call :meth:`flush` once at the end; :meth:`DiskBackend.open` attaches to
+an existing directory read-only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable
+
+from ..exceptions import ExperimentError
+
+#: Manifest identity of a persisted store directory.
+MANIFEST_SCHEMA = "repro/version-store"
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+
+def _require_numpy():
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a test dependency
+        raise ExperimentError(
+            "the disk store backend needs numpy for memory-mapped blocks"
+        ) from None
+    return numpy
+
+
+class MemoryBackend:
+    """The in-memory reference backend (identical interface to disk)."""
+
+    persistent = False
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+        self._arrays: dict[str, bytes] = {}
+        self._json: dict[str, Any] = {}
+
+    # -- write ----------------------------------------------------------
+    def put_blob(self, key: str, data: bytes) -> None:
+        self._blobs[key] = bytes(data)
+
+    def put_array(self, key: str, buffer) -> None:
+        self._arrays[key] = bytes(memoryview(buffer).cast("B"))
+
+    def put_json(self, key: str, value: Any) -> None:
+        # Round-trip through JSON so memory and disk agree on value types.
+        self._json[key] = json.loads(json.dumps(value))
+
+    def flush(self) -> None:
+        """Nothing to do — kept so callers treat both backends alike."""
+
+    # -- read -----------------------------------------------------------
+    def get_blob(self, key: str) -> bytes | None:
+        return self._blobs.get(key)
+
+    def get_array(self, key: str):
+        raw = self._arrays.get(key)
+        if raw is None:
+            return None
+        numpy = _require_numpy()
+        view = numpy.frombuffer(raw, dtype=numpy.int64)
+        view.flags.writeable = False
+        return view
+
+    def get_json(self, key: str) -> Any:
+        return self._json.get(key)
+
+    def keys(self) -> dict[str, list[str]]:
+        return {
+            "blob": sorted(self._blobs),
+            "array": sorted(self._arrays),
+            "json": sorted(self._json),
+        }
+
+
+class DiskBackend:
+    """An on-disk store: numbered block files + one JSON manifest.
+
+    Layout under *root*::
+
+        manifest.json          # schema + key -> file map + json plane
+        blocks/a0.bin, ...     # flat int64 array blocks (mmap targets)
+        blobs/b0.bin, ...      # raw byte payloads
+
+    Keys never touch the filesystem namespace (files are numbered, the
+    manifest maps keys to files), so any ``/``-separated key is legal.
+    Readers open the manifest once and memory-map blocks lazily;
+    :meth:`open` refuses directories without a valid manifest.
+    """
+
+    persistent = True
+
+    def __init__(self, root: str | os.PathLike, readonly: bool = False) -> None:
+        self.root = os.fspath(root)
+        self.readonly = readonly
+        self._blobs: dict[str, dict] = {}
+        self._arrays: dict[str, dict] = {}
+        self._json: dict[str, Any] = {}
+        self._dirty = False
+        manifest_path = os.path.join(self.root, MANIFEST_NAME)
+        if os.path.exists(manifest_path):
+            self._load_manifest(manifest_path)
+        elif readonly:
+            raise ExperimentError(
+                f"no persisted store at {self.root!r} (missing {MANIFEST_NAME})"
+            )
+
+    @classmethod
+    def open(cls, root: str | os.PathLike) -> "DiskBackend":
+        """Attach to an existing store directory, read-only."""
+        return cls(root, readonly=True)
+
+    def _load_manifest(self, path: str) -> None:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("schema") != MANIFEST_SCHEMA:
+            raise ExperimentError(
+                f"{path} is not a persisted version store "
+                f"(schema {manifest.get('schema')!r})"
+            )
+        self._blobs = dict(manifest.get("blobs", {}))
+        self._arrays = dict(manifest.get("arrays", {}))
+        self._json = dict(manifest.get("json", {}))
+
+    # -- write ----------------------------------------------------------
+    def _guard_write(self) -> None:
+        if self.readonly:
+            raise ExperimentError(
+                f"store at {self.root!r} was opened read-only"
+            )
+
+    def _write_file(self, subdir: str, stem: str, data: bytes) -> str:
+        directory = os.path.join(self.root, subdir)
+        os.makedirs(directory, exist_ok=True)
+        filename = f"{stem}.bin"
+        with open(os.path.join(directory, filename), "wb") as handle:
+            handle.write(data)
+        return f"{subdir}/{filename}"
+
+    def put_blob(self, key: str, data: bytes) -> None:
+        self._guard_write()
+        data = bytes(data)
+        entry = self._blobs.get(key) or {}
+        path = self._write_file("blobs", f"b{len(self._blobs)}", data) \
+            if "file" not in entry else entry["file"]
+        if "file" in entry:
+            with open(os.path.join(self.root, path), "wb") as handle:
+                handle.write(data)
+        self._blobs[key] = {"file": path, "nbytes": len(data)}
+        self._dirty = True
+
+    def put_array(self, key: str, buffer) -> None:
+        self._guard_write()
+        data = bytes(memoryview(buffer).cast("B"))
+        entry = self._arrays.get(key) or {}
+        path = self._write_file("blocks", f"a{len(self._arrays)}", data) \
+            if "file" not in entry else entry["file"]
+        if "file" in entry:
+            with open(os.path.join(self.root, path), "wb") as handle:
+                handle.write(data)
+        self._arrays[key] = {
+            "file": path, "dtype": "int64", "count": len(data) // 8,
+        }
+        self._dirty = True
+
+    def put_json(self, key: str, value: Any) -> None:
+        self._guard_write()
+        self._json[key] = json.loads(json.dumps(value))
+        self._dirty = True
+
+    def flush(self) -> None:
+        """Write the manifest (atomically: temp file + rename)."""
+        if self.readonly or not self._dirty:
+            return
+        os.makedirs(self.root, exist_ok=True)
+        manifest = {
+            "schema": MANIFEST_SCHEMA,
+            "version": MANIFEST_VERSION,
+            "blobs": self._blobs,
+            "arrays": self._arrays,
+            "json": self._json,
+        }
+        path = os.path.join(self.root, MANIFEST_NAME)
+        temp = path + ".tmp"
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        os.replace(temp, path)
+        self._dirty = False
+
+    # -- read -----------------------------------------------------------
+    def get_blob(self, key: str) -> bytes | None:
+        entry = self._blobs.get(key)
+        if entry is None:
+            return None
+        with open(os.path.join(self.root, entry["file"]), "rb") as handle:
+            return handle.read()
+
+    def get_array(self, key: str):
+        """A read-only memory-mapped int64 view of one block file."""
+        entry = self._arrays.get(key)
+        if entry is None:
+            return None
+        numpy = _require_numpy()
+        if entry["count"] == 0:
+            return numpy.empty(0, dtype=numpy.int64)
+        return numpy.memmap(
+            os.path.join(self.root, entry["file"]),
+            dtype=numpy.int64,
+            mode="r",
+            shape=(entry["count"],),
+        )
+
+    def get_json(self, key: str) -> Any:
+        return self._json.get(key)
+
+    def keys(self) -> dict[str, list[str]]:
+        return {
+            "blob": sorted(self._blobs),
+            "array": sorted(self._arrays),
+            "json": sorted(self._json),
+        }
+
+
+def resolve_backend(backend) -> MemoryBackend | DiskBackend:
+    """Coerce ``backend=`` arguments: instances pass through, strings
+    and paths become a writable :class:`DiskBackend` rooted there."""
+    if backend is None:
+        raise ExperimentError("backend must be a path or a backend instance")
+    if isinstance(backend, (str, os.PathLike)):
+        return DiskBackend(backend)
+    for attribute in ("put_blob", "get_blob", "put_array", "get_array",
+                      "put_json", "get_json", "flush"):
+        if not hasattr(backend, attribute):
+            raise ExperimentError(
+                f"{type(backend).__name__} does not implement the store "
+                f"backend interface (missing {attribute})"
+            )
+    return backend
+
+
+def describe(backend) -> list[str]:
+    """Human-readable ``rdf-align store ls`` lines for one backend."""
+    lines: list[str] = []
+    identity = backend.get_json("store/identity") or {}
+    if identity:
+        lines.append(
+            "store: "
+            + ", ".join(f"{key}={value}" for key, value in sorted(identity.items()))
+        )
+    keys = backend.keys()
+    for kind in ("json", "array", "blob"):
+        for key in keys.get(kind, []):
+            if kind == "array":
+                entry_count = None
+                getter = getattr(backend, "_arrays", None)
+                if isinstance(getter, dict) and key in getter:
+                    value = getter[key]
+                    entry_count = value.get("count") if isinstance(value, dict) else (
+                        len(value) // 8
+                    )
+                suffix = f" ({entry_count} int64)" if entry_count is not None else ""
+                lines.append(f"array  {key}{suffix}")
+            elif kind == "blob":
+                blob = backend.get_blob(key)
+                lines.append(f"blob   {key} ({0 if blob is None else len(blob)} bytes)")
+            else:
+                lines.append(f"json   {key}")
+    return lines
+
+
+def iter_report_keys(backend) -> Iterable[str]:
+    """Keys of serialized AlignmentReports stored in *backend*.
+
+    Reports live in the blob plane (canonical JSON bytes under
+    ``reports/<key>``, see :meth:`VersionStore.put_report`); the prefix
+    is stripped so the result feeds :meth:`VersionStore.get_report`.
+    """
+    prefix = "reports/"
+    return [
+        key[len(prefix):] for key in backend.keys().get("blob", [])
+        if key.startswith(prefix)
+    ]

@@ -56,7 +56,7 @@ def experiment_module(name: str) -> ModuleType:
 #: probe rule is *not* here: it is part of a figure's identity (only
 #: figure15 uses one, pinned to its recall-complete "safe" variant) and
 #: keeps travelling as a per-figure parameter.
-_CONFIG_KEYS = ("theta", "engine", "jobs")
+_CONFIG_KEYS = ("theta", "engine", "jobs", "backend")
 
 
 def run_experiments(

@@ -35,8 +35,11 @@ parallel run's output byte-identical to the serial one (see
 
 from __future__ import annotations
 
+import os
+import pickle
 from collections import OrderedDict
 from dataclasses import dataclass
+from types import SimpleNamespace
 from typing import Callable, Hashable, Sequence
 
 from ..align.config import AlignConfig
@@ -309,15 +312,34 @@ class VersionStore:
         self._contexts: OrderedDict[tuple[int, int, str], CellContext] = OrderedDict()
         self._overlaps: OrderedDict[tuple, tuple] = OrderedDict()
         self._truths: dict[tuple[int, int], object] = {}
+        #: Literal-split memo shared by every overlap cell of the store
+        #: (and published to pool workers / persisted with the store).
+        self._split_cache: dict[str, frozenset] = {}
+        #: Dataset coordinates (family/scale/seed/versions) when known —
+        #: stamped by :meth:`shared` and persisted as the archive identity.
+        self.identity: dict | None = None
+        #: The persistence backend this store was loaded from (if any).
+        self.backend = None
         self.hits: dict[str, int] = {}
         self.misses: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     @classmethod
     def shared(
-        cls, family: str, scale: float, seed: int, versions: int
+        cls,
+        family: str,
+        scale: float,
+        seed: int,
+        versions: int,
+        backend=None,
     ) -> "VersionStore":
-        """The process-wide store for one dataset configuration."""
+        """The process-wide store for one dataset configuration.
+
+        With *backend* (a path or persistence backend, see
+        :mod:`repro.experiments.persist`) the store is **loaded** from a
+        persisted archive instead of regenerated — the archive's identity
+        must match the requested coordinates.
+        """
         try:
             factory = GENERATOR_FAMILIES[family]
         except KeyError:
@@ -328,7 +350,17 @@ class VersionStore:
         key = (family, float(scale), int(seed), int(versions))
         store = _SHARED_STORES.get(key)
         if store is None:
-            store = cls(factory.shared(scale=scale, seed=seed, versions=versions))
+            identity = {
+                "family": family,
+                "scale": float(scale),
+                "seed": int(seed),
+                "versions": int(versions),
+            }
+            if backend is not None:
+                store = cls.load(backend, expect=identity)
+            else:
+                store = cls(factory.shared(scale=scale, seed=seed, versions=versions))
+                store.identity = identity
             _SHARED_STORES[key] = store
         return store
 
@@ -717,7 +749,7 @@ class VersionStore:
                 probe=config.probe,  # type: ignore[arg-type]
                 max_rounds=max_rounds,
                 trace=trace,
-                splitter=config.splitter,
+                splitter=self._store_splitter(config.splitter),
                 engine=config.engine,
                 csr=context.csr,
             )
@@ -760,6 +792,249 @@ class VersionStore:
                 self.edge_tokens(version, method)
             if csr:
                 self.csr_block(version)
+
+    def _store_splitter(self, base: Callable) -> Callable:
+        """Memoize the default splitter in the store-wide literal cache.
+
+        The cache is one of the published/persisted artifacts ("literal
+        splits"), so pool workers and reloaded archives skip the
+        re-splitting cost.  Bespoke splitters pass through untouched —
+        caching across different splitters would conflate their outputs.
+        """
+        if base is not split_words:
+            return base
+        cache = self._split_cache
+
+        def splitter(text: str) -> frozenset:
+            result = cache.get(text)
+            if result is None:
+                result = split_words(text)
+                cache[text] = result
+            return result
+
+        return splitter
+
+    # ------------------------------------------------------------------
+    # Shared-memory publication (the parallel pool's fork/spawn contract)
+    # ------------------------------------------------------------------
+    def publish_shared(self, registry) -> dict:
+        """Publish this store's artifacts into *registry* segments once.
+
+        Returns a small picklable manifest of segment names for
+        :meth:`from_manifest`.  CSR index arrays go in raw (workers map
+        them back as zero-copy numpy views); graphs and the derived
+        Python-object artifacts travel as one pickle each.  Only what is
+        already cached is published — a worker recomputes anything it
+        misses from the shared graphs, deterministically, so results
+        never depend on how warm the parent's caches were.
+        """
+        graphs = [self.graph(version) for version in range(self.versions)]
+        return {
+            "versions": self.versions,
+            "identity": dict(self.identity) if self.identity else None,
+            "graphs": registry.publish_pickle(graphs),
+            "csr": {
+                version: block.to_shared(registry)
+                for version, block in sorted(self._csr_blocks.items())
+            },
+            "summaries": registry.publish_pickle(dict(self._summaries)),
+            "edge_tokens": registry.publish_pickle(dict(self._edge_tokens)),
+            "joints": registry.publish_pickle(dict(self._joints)),
+            "trivial_sides": registry.publish_pickle(dict(self._trivial_sides)),
+            "static_stats": registry.publish_pickle(dict(self._static_stats)),
+            "truths": registry.publish_pickle(dict(self._truths)),
+            "splits": registry.publish_pickle(dict(self._split_cache)),
+        }
+
+    @classmethod
+    def from_manifest(cls, manifest: dict) -> "VersionStore":
+        """Attach a published store inside a pool worker (fork or spawn).
+
+        CSR blocks become zero-copy views over the parent's segments;
+        the segment handles are pinned on the store for the worker's
+        lifetime (``_shm_keepalive``) — the owning registry, not the
+        worker, unlinks them.
+        """
+        from .shm import attach_pickle
+
+        keepalive: list = []
+        graphs = attach_pickle(manifest["graphs"])
+        store = cls(_PrebuiltHistory(graphs))
+        store.identity = manifest.get("identity")
+        for version, csr_manifest in manifest["csr"].items():
+            store._csr_blocks[int(version)] = CSRGraph.from_shared(
+                csr_manifest, keepalive
+            )
+        store._summaries.update(attach_pickle(manifest["summaries"]))
+        store._edge_tokens.update(attach_pickle(manifest["edge_tokens"]))
+        store._joints.update(attach_pickle(manifest["joints"]))
+        store._trivial_sides.update(attach_pickle(manifest["trivial_sides"]))
+        store._static_stats.update(attach_pickle(manifest["static_stats"]))
+        store._truths.update(attach_pickle(manifest["truths"]))
+        store._split_cache.update(attach_pickle(manifest["splits"]))
+        store._shm_keepalive = keepalive
+        return store
+
+    # ------------------------------------------------------------------
+    # Persistence (the pluggable MemoryBackend/DiskBackend layer)
+    # ------------------------------------------------------------------
+    def save(self, backend) -> object:
+        """Persist the store's archive into *backend* (path or instance).
+
+        Graphs are written as canonical sorted N-Triples (deterministic
+        bytes), CSR blocks as flat int64 block files (the disk backend
+        memory-maps them back), summaries / edge tokens / literal splits
+        as pickles.  Everything a figure run needs is materialized
+        before writing, so a reloaded store starts warm.
+        """
+        from ..io import ntriples
+        from .persist import resolve_backend
+
+        backend = resolve_backend(backend)
+        backend.put_json(
+            "store/identity", self.identity or {"versions": self.versions}
+        )
+        backend.put_json("store/versions", self.versions)
+        for version in range(self.versions):
+            graph = self.graph(version)
+            backend.put_blob(
+                f"graphs/{version}.nt",
+                ntriples.dumps(graph, sort=True).encode("utf-8"),
+            )
+            block = self.csr_block(version)
+            backend.put_blob(
+                f"csr/{version}/nodes",
+                pickle.dumps(block.nodes, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+            backend.put_array(f"csr/{version}/offsets", block.out_offsets)
+            backend.put_array(f"csr/{version}/predicates", block.out_predicates)
+            backend.put_array(f"csr/{version}/objects", block.out_objects)
+            self.summary(version)
+            self.edge_tokens(version, "trivial")
+            self.edge_tokens(version, "deblank")
+        for key, payload in (
+            ("artifacts/summaries", dict(self._summaries)),
+            ("artifacts/edge_tokens", dict(self._edge_tokens)),
+            ("artifacts/splits", dict(self._split_cache)),
+        ):
+            backend.put_blob(
+                key, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        backend.flush()
+        return backend
+
+    @classmethod
+    def load(cls, backend, expect: dict | None = None) -> "VersionStore":
+        """Reload a persisted store (fresh process, read-only backends OK).
+
+        *expect* pins the archive identity (family/scale/seed/versions):
+        a mismatch raises instead of silently aligning the wrong data.
+        CSR blocks come back as read-only views over the backend's block
+        storage (memory-mapped files for :class:`DiskBackend`).
+        """
+        from ..io import ntriples
+        from .persist import DiskBackend, resolve_backend
+
+        if isinstance(backend, (str, os.PathLike)):
+            backend = DiskBackend.open(backend)
+        else:
+            backend = resolve_backend(backend)
+        identity = backend.get_json("store/identity") or {}
+        versions = int(
+            backend.get_json("store/versions") or identity.get("versions") or 0
+        )
+        if versions <= 0:
+            raise ExperimentError(
+                "the backend holds no persisted version store"
+            )
+        if expect is not None:
+            mismatched = {
+                key: (identity.get(key), value)
+                for key, value in expect.items()
+                if identity.get(key) != value
+            }
+            if mismatched:
+                raise ExperimentError(
+                    f"persisted store identity mismatch: {mismatched} "
+                    "(archive value vs requested)"
+                )
+        graphs = []
+        for version in range(versions):
+            blob = backend.get_blob(f"graphs/{version}.nt")
+            if blob is None:
+                raise ExperimentError(
+                    f"persisted store is missing graphs/{version}.nt"
+                )
+            graphs.append(ntriples.loads(blob.decode("utf-8")))
+        store = cls(_PrebuiltHistory(graphs))
+        store.identity = identity or None
+        store.backend = backend
+        for version in range(versions):
+            nodes_blob = backend.get_blob(f"csr/{version}/nodes")
+            if nodes_blob is None:
+                continue
+            store._csr_blocks[version] = CSRGraph.from_parts(
+                pickle.loads(nodes_blob),
+                backend.get_array(f"csr/{version}/offsets"),
+                backend.get_array(f"csr/{version}/predicates"),
+                backend.get_array(f"csr/{version}/objects"),
+            )
+        for key, attribute in (
+            ("artifacts/summaries", "_summaries"),
+            ("artifacts/edge_tokens", "_edge_tokens"),
+            ("artifacts/splits", "_split_cache"),
+        ):
+            blob = backend.get_blob(key)
+            if blob is not None:
+                getattr(store, attribute).update(pickle.loads(blob))
+        return store
+
+    # ------------------------------------------------------------------
+    def put_report(self, key: str, report, backend=None) -> None:
+        """Persist one serialized AlignmentReport under ``reports/<key>``.
+
+        Stored as the report's canonical JSON bytes, so a reloaded
+        report round-trips byte-identically.
+        """
+        from .persist import resolve_backend
+
+        backend = resolve_backend(backend if backend is not None else self.backend)
+        backend.put_blob(f"reports/{key}", report.to_json().encode("utf-8"))
+        backend.flush()
+
+    def get_report(self, key: str, backend=None):
+        """Reload a persisted AlignmentReport (``None`` when absent)."""
+        from ..align.report import AlignmentReport
+        from .persist import resolve_backend
+
+        backend = resolve_backend(backend if backend is not None else self.backend)
+        blob = backend.get_blob(f"reports/{key}")
+        if blob is None:
+            return None
+        return AlignmentReport.from_json(blob.decode("utf-8"))
+
+
+class _PrebuiltHistory:
+    """Generator stand-in for stores rebuilt from a manifest or archive.
+
+    Wraps already-materialized version graphs with the surface the store
+    uses (``graph``/``config.versions``).  Ground truth is deliberately
+    absent: it must be prepared (and published) by the owning process.
+    """
+
+    def __init__(self, graphs: Sequence[TripleGraph]) -> None:
+        self._graphs = list(graphs)
+        self.config = SimpleNamespace(versions=len(self._graphs))
+
+    def graph(self, index: int) -> TripleGraph:
+        return self._graphs[index]
+
+    def ground_truth(self, source: int, target: int):
+        raise ExperimentError(
+            "ground truth is not part of a published or persisted store; "
+            "warm it via store.ground_truth(...) in the owning process "
+            "before publishing"
+        )
 
 
 def _retag_blanks(

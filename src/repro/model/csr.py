@@ -154,6 +154,65 @@ class CSRGraph:
         return f"<CSRGraph nodes={self.num_nodes} pairs={self.num_pairs}>"
 
     # ------------------------------------------------------------------
+    # Assembly from pre-built parts (shared memory, disk persistence)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_parts(
+        cls, nodes: Sequence[NodeId], out_offsets, out_predicates, out_objects
+    ) -> "CSRGraph":
+        """Assemble a snapshot from its four buffers without re-walking.
+
+        The index buffers may be ``array('q')`` instances or any int64
+        sequence supporting the buffer protocol (NumPy views over shared
+        memory, read-only memmaps); the engines consume them through
+        ``frombuffer``/indexing either way.  ``index`` is rebuilt — it is
+        derived state, never serialized.
+        """
+        snapshot = cls.__new__(cls)
+        snapshot.nodes = list(nodes)
+        snapshot.index = {node: i for i, node in enumerate(snapshot.nodes)}
+        snapshot.out_offsets = out_offsets
+        snapshot.out_predicates = out_predicates
+        snapshot.out_objects = out_objects
+        return snapshot
+
+    def to_shared(self, registry) -> dict:
+        """Publish this snapshot into named shared-memory segments.
+
+        The three index arrays go in raw (attachers map them back as
+        zero-copy int64 views); the node table is pickled (Python
+        objects cannot be shared structurally).  Returns a picklable
+        manifest for :meth:`from_shared`; the *registry*
+        (:class:`~repro.experiments.shm.ShmRegistry`) owns the segments
+        and is responsible for unlinking them.
+        """
+        return {
+            "nodes": registry.publish_pickle(self.nodes),
+            "offsets": registry.publish_array(self.out_offsets),
+            "predicates": registry.publish_array(self.out_predicates),
+            "objects": registry.publish_array(self.out_objects),
+        }
+
+    @classmethod
+    def from_shared(cls, manifest: dict, keepalive: list) -> "CSRGraph":
+        """Attach a published snapshot as zero-copy read-only views.
+
+        Bit-identical to the publishing snapshot (``to_shared`` /
+        ``from_shared`` round-trips byte-for-byte, empty graphs and
+        zero-length pair arrays included).  *keepalive* receives the
+        segment handles; the snapshot is only valid while they stay
+        open — the worker pool retains them for the worker's lifetime.
+        """
+        from ..experiments.shm import attach_index_array, attach_pickle
+
+        return cls.from_parts(
+            attach_pickle(manifest["nodes"]),
+            attach_index_array(manifest["offsets"], keepalive),
+            attach_index_array(manifest["predicates"], keepalive),
+            attach_index_array(manifest["objects"], keepalive),
+        )
+
+    # ------------------------------------------------------------------
     @classmethod
     def from_blocks(cls, source: "CSRGraph", target: "CSRGraph") -> "CSRGraph":
         """Assemble the union snapshot from two per-version blocks.

@@ -29,6 +29,13 @@ asserts the cross-cutting invariants:
 * **report round-trip** — every produced
   :class:`~repro.align.report.AlignmentReport` survives
   ``from_json(to_json())`` exactly;
+* **persistence parity** — saving the history's
+  :class:`~repro.experiments.store.VersionStore` through every
+  persistence backend (:class:`~repro.experiments.persist.MemoryBackend`
+  and :class:`~repro.experiments.persist.DiskBackend`) and loading it
+  back yields bit-identical CSR blocks and byte-identical alignment
+  reports on every method × pair — the canonical N-Triples + block-file
+  round trip loses nothing;
 * **incremental parity** — maintaining each version's deblanking
   fixpoint under the generator's deltas
   (``Aligner(..., incremental=True).align_chain``; see
@@ -77,8 +84,9 @@ DEFAULT_ENGINES: tuple[str, ...] = ("reference", "dense")
 
 #: The oracle's selectable axes: ``"all"`` runs every invariant,
 #: ``"incremental"`` runs only the incremental-vs-scratch parity check
-#: (the dedicated CI job, cheap enough to run on every push).
-AXES: tuple[str, ...] = ("all", "incremental")
+#: and ``"persistence"`` only the save/load parity check (both are
+#: dedicated CI jobs, cheap enough to run on every push).
+AXES: tuple[str, ...] = ("all", "incremental", "persistence")
 
 
 @dataclass(frozen=True)
@@ -491,6 +499,87 @@ class _ScenarioOracle:
                     pair=pair,
                 )
 
+    def check_persistence_parity(self) -> None:
+        """Saved-and-reloaded stores must reproduce the in-memory run.
+
+        The scenario's history is wrapped in a
+        :class:`~repro.experiments.store.VersionStore`, persisted through
+        **every** backend — an in-process ``MemoryBackend`` and a
+        ``DiskBackend`` under a temporary directory — and loaded back.
+        Two invariants per backend: the reloaded CSR blocks are
+        bit-identical to the originals (the flat int64 block files /
+        memory-maps lose nothing), and re-aligning the reloaded graphs
+        yields byte-identical report JSON on every method × pair (the
+        canonical sorted N-Triples round trip preserves alignment
+        semantics exactly).  Refusals must stay consistent in *type*:
+        the diagnostic may name a different member of the same blank
+        cycle, because node traversal order is legitimately not part of
+        the persisted archive (canonical N-Triples sorts the triples).
+        """
+        import tempfile
+
+        from ..experiments.persist import DiskBackend, MemoryBackend
+        from ..experiments.store import VersionStore
+
+        def rendered(outcome, config) -> str:
+            if isinstance(outcome, Refusal):
+                return f"refusal:{outcome.error_type}"
+            return outcome.report(config).to_json()
+
+        engine = self.report.engines[0]
+        baseline: dict[str, list[str]] = {}
+        for method in self.report.methods:
+            config = AlignConfig(method=method, engine=engine)
+            baseline[method] = [
+                rendered(outcome, config)
+                for outcome in self._results(method, engine)
+            ]
+            self.report.cells += len(self.report.pairs)
+
+        source = VersionStore(self.generator)
+        source.prepare(summaries=True, csr=True)
+        with tempfile.TemporaryDirectory() as tmp:
+            backends = {
+                "memory": MemoryBackend(),
+                "disk": DiskBackend(os.path.join(tmp, "store")),
+            }
+            for label, backend in backends.items():
+                source.save(backend)
+                loaded = VersionStore.load(backend)
+                for version in range(source.versions):
+                    original = source.csr_block(version)
+                    reloaded = loaded.csr_block(version)
+                    if (
+                        list(original.nodes) != list(reloaded.nodes)
+                        or original.out_offsets.tobytes()
+                        != reloaded.out_offsets.tobytes()
+                        or original.out_predicates.tobytes()
+                        != reloaded.out_predicates.tobytes()
+                        or original.out_objects.tobytes()
+                        != reloaded.out_objects.tobytes()
+                    ):
+                        self._diverge(
+                            "persistence_parity", "csr",
+                            f"CSR block of version {version} is not "
+                            f"bit-identical after the {label} round trip",
+                        )
+                graphs = loaded.graphs()
+                for method in self.report.methods:
+                    config = AlignConfig(method=method, engine=engine)
+                    for index, pair in enumerate(self.report.pairs):
+                        outcome = _run_cell(
+                            config, graphs[pair[0]], graphs[pair[1]]
+                        )
+                        self.report.cells += 1
+                        if rendered(outcome, config) != baseline[method][index]:
+                            self._diverge(
+                                "persistence_parity", method,
+                                f"report from the {label}-backend round trip "
+                                f"differs byte-wise from the in-memory run "
+                                f"(engine={engine})",
+                                pair=pair,
+                            )
+
     def check_report_roundtrip(self, method: str,
                                reports: Iterable[AlignmentReport]) -> None:
         for index, report in enumerate(reports):
@@ -513,6 +602,9 @@ class _ScenarioOracle:
 
     # ------------------------------------------------------------------
     def run(self) -> DifferentialReport:
+        if self.axis == "persistence":
+            self.check_persistence_parity()
+            return self.report
         full = self.axis == "all"
         all_results: dict[str, dict[str, list]] = {
             engine: {} for engine in self.report.engines
@@ -556,6 +648,7 @@ class _ScenarioOracle:
             for engine in self.report.engines:
                 self.check_hierarchy(engine, all_results[engine])
                 self.check_theta_monotonicity(engine)
+            self.check_persistence_parity()
         return self.report
 
 
@@ -651,7 +744,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         choices=AXES,
         default="all",
         help="invariant set to run (incremental = only the "
-        "incremental-vs-scratch parity check)",
+        "incremental-vs-scratch parity check; persistence = only the "
+        "save/load backend parity check)",
     )
     args = parser.parse_args(argv)
 

@@ -120,3 +120,38 @@ class TestSimilarityFlooding:
     def test_best_matches_threshold(self, figure7_combined):
         result = similarity_flooding(figure7_combined)
         assert result.best_matches(threshold=2.0) == {}
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_insertion_order_independent(self, seed):
+        """Flooding is a function of graph *content*, not load order.
+
+        The same triples inserted forwards and backwards (as after a
+        canonical N-Triples round trip) must give bit-identical similarity
+        tables and identical matches — tie-breaking and float summation are
+        pinned to a canonical node order, not hash/insertion order.
+        """
+        rng = random.Random(seed)
+        triples = []
+        uris = [uri(f"n{i}") for i in range(6)]
+        preds = [uri(f"p{i}") for i in range(3)]
+        for i in range(12):
+            triples.append(
+                (rng.choice(uris), rng.choice(preds),
+                 rng.choice(uris + [lit(f"v{i % 4}")]))
+            )
+
+        def build(order):
+            g = RDFGraph()
+            for s, p, o in order:
+                g.add(s, p, o)
+            return g
+
+        target = build(triples)
+        forward = combine(build(triples), target)
+        backward = combine(build(list(reversed(triples))), target)
+        first = similarity_flooding(forward)
+        second = similarity_flooding(backward)
+        assert first.similarities == second.similarities
+        assert first.rounds == second.rounds
+        assert first.mutual_best_matches() == second.mutual_best_matches()
+        assert first.best_matches() == second.best_matches()

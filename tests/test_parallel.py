@@ -14,10 +14,20 @@ import pytest
 from repro.align import AlignConfig
 from repro.core.deblank import deblank_partition
 from repro.datasets.efo import EFOGenerator
+from repro.datasets.synthetic import SCENARIOS, SyntheticGenerator
 from repro.evaluation.matrices import pairwise_matrix
 from repro.evaluation.metrics import aligned_edge_ratio
-from repro.experiments import figure10, figure13, figure15
-from repro.experiments.parallel import effective_jobs, fork_available, run_sharded
+from repro.experiments import figure10, figure13, figure15, parallel
+from repro.experiments.cells import edge_ratio_cell, method_counts_cell
+from repro.experiments.parallel import (
+    effective_jobs,
+    fork_available,
+    pool_overhead,
+    run_sharded,
+    run_store_cells,
+)
+from repro.experiments.shm import list_segments, shm_available
+from repro.experiments.store import VersionStore
 from repro.model.csr import CSRGraph
 from repro.model.union import CombinedGraph
 from repro.partition.interner import ColorInterner
@@ -60,6 +70,114 @@ class TestRunSharded:
         assert effective_jobs(8, cells=3) == 3
         assert effective_jobs(None, cells=1) == 1
         assert effective_jobs(0, cells=2) <= 2
+
+
+class TestOverheadScheduling:
+    """effective_jobs refuses to shard below the measured pool overhead."""
+
+    @pytest.fixture(autouse=True)
+    def four_cpus_and_pinned_overhead(self, monkeypatch):
+        # Pin both sides of the economics so the decisions are exact:
+        # the machine "has" 4 CPUs and a pool "costs" 0.5 s to start.
+        monkeypatch.setattr(parallel, "usable_cpus", lambda: 4)
+        monkeypatch.setattr(parallel, "_MEASURED_OVERHEAD", 0.5)
+
+    def test_refuses_when_saving_below_overhead(self):
+        # 10 cells x 1 ms x (1 - 1/4) = 7.5 ms of projected saving
+        # against 500 ms of overhead: not worth a pool.
+        assert effective_jobs(4, cells=10, est_cell_seconds=0.001) == 1
+
+    def test_shards_when_saving_beats_overhead(self):
+        # 10 cells x 1 s x (1 - 1/4) = 7.5 s >> 0.5 s: shard away.
+        assert effective_jobs(4, cells=10, est_cell_seconds=1.0) == 4
+
+    def test_breakeven_is_refused(self):
+        # Saving exactly equal to the overhead still refuses (<=).
+        est = 0.5 / (10 * (1 - 1 / 4))
+        assert effective_jobs(4, cells=10, est_cell_seconds=est) == 1
+
+    def test_single_usable_cpu_refuses_estimated_work(self, monkeypatch):
+        monkeypatch.setattr(parallel, "usable_cpus", lambda: 1)
+        assert effective_jobs(4, cells=100, est_cell_seconds=10.0) == 1
+
+    def test_no_estimate_keeps_plain_clamping(self):
+        # Without an estimate the historical clamp-only behavior holds.
+        assert effective_jobs(4, cells=10) == 4
+
+    def test_pool_overhead_is_measured_once(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_MEASURED_OVERHEAD", None)
+        first = pool_overhead()
+        assert first > 0.0
+        assert pool_overhead() == first  # cached, not re-measured
+
+
+@pytest.mark.skipif(not shm_available(), reason="needs POSIX shared memory")
+class TestRunStoreCells:
+    """The shm pool path: serial/fork/spawn parity and cleanup."""
+
+    @pytest.fixture(scope="class")
+    def store(self):
+        store = VersionStore(SyntheticGenerator.shared(SCENARIOS["small_er"]))
+        store.prepare(summaries=True, tokens=("trivial", "deblank"))
+        return store
+
+    @pytest.fixture(scope="class")
+    def pairs(self, store):
+        return [
+            (source, target)
+            for source in range(store.versions)
+            for target in range(source, store.versions)
+        ]
+
+    def test_serial_path(self, store, pairs):
+        rows = run_store_cells(store, edge_ratio_cell, pairs, jobs=1)
+        assert rows == [edge_ratio_cell(store, None, pair) for pair in pairs]
+
+    def test_empty_items(self, store):
+        assert run_store_cells(store, edge_ratio_cell, [], jobs=4) == []
+
+    @needs_fork
+    def test_fork_pool_matches_serial(self, store, pairs):
+        serial = run_store_cells(store, edge_ratio_cell, pairs, jobs=1)
+        pooled = run_store_cells(
+            store, edge_ratio_cell, pairs, jobs=2, context="fork", force=True
+        )
+        assert pooled == serial
+        assert list_segments() == []
+
+    @pytest.mark.skipif(
+        "spawn" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="spawn start method unavailable",
+    )
+    def test_spawn_pool_matches_serial(self, store, pairs):
+        """The no-fork (Windows-style) fallback: attach under spawn."""
+        config = AlignConfig(theta=0.65)
+        serial = run_store_cells(
+            store, method_counts_cell, pairs[:4], jobs=1, config=config
+        )
+        pooled = run_store_cells(
+            store, method_counts_cell, pairs[:4],
+            jobs=2, config=config, context="spawn", force=True,
+        )
+        assert pooled == serial
+        assert list_segments() == []
+
+    @needs_fork
+    def test_autotune_refuses_tiny_workload(self, store, pairs, monkeypatch):
+        # With a realistic overhead and millisecond cells, the autotuned
+        # path must fall back to serial rather than fork at a loss.
+        monkeypatch.setattr(parallel, "usable_cpus", lambda: 4)
+        monkeypatch.setattr(parallel, "_MEASURED_OVERHEAD", 10.0)
+        calls: list = []
+        monkeypatch.setattr(
+            parallel, "SharedStorePool",
+            lambda *a, **k: calls.append(1) or (_ for _ in ()).throw(
+                AssertionError("pool started despite refusal")
+            ),
+        )
+        rows = run_store_cells(store, edge_ratio_cell, pairs, jobs=4)
+        assert rows == [edge_ratio_cell(store, None, pair) for pair in pairs]
+        assert calls == []
 
 
 @needs_fork

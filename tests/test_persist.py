@@ -1,0 +1,199 @@
+"""Persistence backends and the VersionStore save/load round trip.
+
+MemoryBackend and DiskBackend speak one interface; a store persisted
+through either must come back with bit-identical CSR blocks and
+byte-identical reports — the differential oracle re-checks the same
+contract per scenario (``--axis persistence``), these tests pin the
+backend mechanics (layout, read-only guard, identity pinning).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.align import AlignConfig, Aligner
+from repro.datasets.synthetic import SCENARIOS, SyntheticGenerator
+from repro.exceptions import ExperimentError
+from repro.experiments.persist import (
+    MANIFEST_NAME,
+    DiskBackend,
+    MemoryBackend,
+    describe,
+    iter_report_keys,
+    resolve_backend,
+)
+from repro.experiments.store import VersionStore
+
+numpy = pytest.importorskip("numpy")
+
+
+@pytest.fixture(params=["memory", "disk"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        return MemoryBackend()
+    return DiskBackend(tmp_path / "store")
+
+
+@pytest.fixture
+def store() -> VersionStore:
+    store = VersionStore(SyntheticGenerator.shared(SCENARIOS["small_er"]))
+    store.prepare(summaries=True, csr=True)
+    return store
+
+
+class TestBackendInterface:
+    def test_blob_roundtrip(self, backend):
+        backend.put_blob("graphs/0.nt", b"<a> <b> <c> .\n")
+        backend.flush()
+        assert backend.get_blob("graphs/0.nt") == b"<a> <b> <c> .\n"
+        assert backend.get_blob("missing") is None
+
+    def test_array_roundtrip_readonly(self, backend):
+        payload = numpy.array([1, 5, 2**40, -3], dtype=numpy.int64)
+        backend.put_array("csr/0/offsets", payload)
+        backend.flush()
+        view = backend.get_array("csr/0/offsets")
+        assert view.tobytes() == payload.tobytes()
+        with pytest.raises((ValueError, TypeError)):
+            view[0] = 99
+        assert backend.get_array("missing") is None
+
+    def test_empty_array(self, backend):
+        backend.put_array("csr/0/objects", numpy.empty(0, dtype=numpy.int64))
+        backend.flush()
+        assert len(backend.get_array("csr/0/objects")) == 0
+
+    def test_json_roundtrip(self, backend):
+        identity = {"family": "efo", "scale": 0.35, "versions": 10}
+        backend.put_json("store/identity", identity)
+        backend.flush()
+        assert backend.get_json("store/identity") == identity
+
+    def test_overwrite_key(self, backend):
+        backend.put_blob("graphs/0.nt", b"old")
+        backend.put_blob("graphs/0.nt", b"new bytes")
+        backend.flush()
+        assert backend.get_blob("graphs/0.nt") == b"new bytes"
+
+    def test_keys_planes(self, backend):
+        backend.put_blob("b/one", b"x")
+        backend.put_array("a/one", numpy.array([1], dtype=numpy.int64))
+        backend.put_json("j/one", 1)
+        assert backend.keys() == {
+            "blob": ["b/one"], "array": ["a/one"], "json": ["j/one"],
+        }
+
+
+class TestDiskLayout:
+    def test_layout_and_reopen(self, tmp_path):
+        root = tmp_path / "archive"
+        backend = DiskBackend(root)
+        backend.put_blob("graphs/0.nt", b"bytes")
+        backend.put_array("csr/0/offsets", numpy.array([0, 1], dtype=numpy.int64))
+        backend.put_json("store/versions", 1)
+        backend.flush()
+        assert sorted(os.listdir(root)) == ["blobs", "blocks", MANIFEST_NAME]
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        assert manifest["schema"] == "repro/version-store"
+
+        reopened = DiskBackend.open(root)
+        assert reopened.readonly
+        assert reopened.get_blob("graphs/0.nt") == b"bytes"
+        assert reopened.get_json("store/versions") == 1
+
+    def test_readonly_guard(self, tmp_path):
+        root = tmp_path / "archive"
+        writer = DiskBackend(root)
+        writer.put_json("store/versions", 1)
+        writer.flush()
+        reader = DiskBackend.open(root)
+        with pytest.raises(ExperimentError, match="read-only"):
+            reader.put_blob("x", b"y")
+
+    def test_open_missing_directory_raises(self, tmp_path):
+        with pytest.raises(ExperimentError, match="no persisted store"):
+            DiskBackend.open(tmp_path / "nowhere")
+
+    def test_resolve_backend(self, tmp_path):
+        resolved = resolve_backend(tmp_path / "fresh")
+        assert isinstance(resolved, DiskBackend) and not resolved.readonly
+        memory = MemoryBackend()
+        assert resolve_backend(memory) is memory
+        with pytest.raises(ExperimentError, match="backend interface"):
+            resolve_backend(object())
+        with pytest.raises(ExperimentError):
+            resolve_backend(None)
+
+
+class TestStoreRoundTrip:
+    def test_loaded_store_matches_original(self, store, backend):
+        store.save(backend)
+        loaded = VersionStore.load(backend)
+        assert loaded.versions == store.versions
+        assert loaded.backend is backend
+        for version in range(store.versions):
+            original = store.csr_block(version)
+            reloaded = loaded.csr_block(version)
+            assert list(reloaded.nodes) == list(original.nodes)
+            assert reloaded.out_offsets.tobytes() == original.out_offsets.tobytes()
+            assert (
+                reloaded.out_predicates.tobytes()
+                == original.out_predicates.tobytes()
+            )
+            assert reloaded.out_objects.tobytes() == original.out_objects.tobytes()
+            # Artifacts came back warm: summaries and edge tokens are hits.
+            assert version in loaded._summaries
+            assert loaded.edge_tokens(version, "deblank") == store.edge_tokens(
+                version, "deblank"
+            )
+
+    def test_memory_and_disk_agree_byte_for_byte(self, store, tmp_path):
+        memory = MemoryBackend()
+        disk = DiskBackend(tmp_path / "store")
+        store.save(memory)
+        store.save(disk)
+        config = AlignConfig(method="deblank")
+        reports = []
+        for loaded in (VersionStore.load(memory), VersionStore.load(disk)):
+            graphs = loaded.graphs()
+            reports.append(
+                Aligner(config).align(graphs[0], graphs[1]).report(config).to_json()
+            )
+        assert reports[0] == reports[1]
+
+    def test_identity_pinning(self, store, backend):
+        store.identity = {"family": "synthetic_er", "scale": 1.0}
+        store.save(backend)
+        loaded = VersionStore.load(
+            backend, expect={"family": "synthetic_er", "scale": 1.0}
+        )
+        assert loaded.identity["family"] == "synthetic_er"
+        with pytest.raises(ExperimentError, match="identity mismatch"):
+            VersionStore.load(backend, expect={"family": "gtopdb"})
+
+    def test_load_empty_backend_raises(self):
+        with pytest.raises(ExperimentError, match="no persisted version store"):
+            VersionStore.load(MemoryBackend())
+
+    def test_report_roundtrip_and_keys(self, store, backend):
+        config = AlignConfig(method="deblank")
+        graphs = store.graphs()
+        report = Aligner(config).align(graphs[0], graphs[1]).report(config)
+        store.save(backend)
+        store.put_report("pair-0-1", report, backend=backend)
+        assert iter_report_keys(backend) == ["pair-0-1"]
+        loaded = VersionStore.load(backend)
+        again = loaded.get_report("pair-0-1")
+        assert again.to_json() == report.to_json()
+        assert loaded.get_report("missing") is None
+
+    def test_describe_lists_identity_and_planes(self, store, backend):
+        store.identity = {"family": "synthetic_er", "scale": 1.0}
+        store.save(backend)
+        lines = describe(backend)
+        assert any(line.startswith("store: family=synthetic_er") for line in lines)
+        assert any(line.startswith("array  csr/0/offsets") for line in lines)
+        assert any(line.startswith("blob   graphs/0.nt") for line in lines)

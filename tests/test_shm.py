@@ -1,0 +1,171 @@
+"""Shared-memory segments and the worker pool's cleanup guarantees.
+
+The contract under test (repro.experiments.shm + CSRGraph.to_shared):
+
+* published payloads round-trip bit-identically — CSR snapshots
+  included, empty graphs and zero-length arrays included;
+* a :class:`ShmRegistry` unlinks everything it owns on context exit,
+  on exception, and idempotently;
+* a worker crashing mid-cell (SIGKILL) surfaces as
+  ``BrokenProcessPool`` and still leaves ``/dev/shm`` clean.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from array import array
+
+import pytest
+
+from repro.experiments.parallel import fork_available, run_store_cells
+from repro.experiments.shm import (
+    ShmRegistry,
+    attach_bytes,
+    attach_index_array,
+    attach_pickle,
+    attach_segment,
+    list_segments,
+    shm_available,
+)
+from repro.experiments.store import VersionStore
+from repro.datasets.synthetic import SCENARIOS, SyntheticGenerator
+from repro.model import RDFGraph, blank, lit, uri
+from repro.model.csr import CSRGraph
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory is unavailable"
+)
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="the crash test pins the fork start method"
+)
+
+
+@pytest.fixture
+def small_graph() -> RDFGraph:
+    g = RDFGraph()
+    g.add(uri("a"), uri("p"), blank("b1"))
+    g.add(uri("a"), uri("q"), lit("x"))
+    g.add(blank("b1"), uri("p"), lit("x"))
+    return g
+
+
+class TestRegistryRoundTrip:
+    def test_bytes_roundtrip(self):
+        with ShmRegistry() as registry:
+            manifest = registry.publish_bytes(b"hello shared world")
+            assert attach_bytes(manifest) == b"hello shared world"
+        assert list_segments() == []
+
+    def test_empty_bytes_publish_no_segment(self):
+        with ShmRegistry() as registry:
+            manifest = registry.publish_bytes(b"")
+            assert manifest == {"name": None, "nbytes": 0}
+            assert registry.names() == []
+            assert attach_segment(manifest) is None
+            assert attach_bytes(manifest) == b""
+
+    def test_pickle_roundtrip(self):
+        value = {"pairs": [(0, 1), (1, 2)], "theta": 0.65}
+        with ShmRegistry() as registry:
+            assert attach_pickle(registry.publish_pickle(value)) == value
+
+    def test_index_array_roundtrip_is_bit_identical(self):
+        payload = array("q", [0, 3, 5, 2**40, -7])
+        keepalive: list = []
+        with ShmRegistry() as registry:
+            manifest = registry.publish_array(payload)
+            assert manifest["count"] == len(payload)
+            view = attach_index_array(manifest, keepalive)
+            assert view.tobytes() == payload.tobytes()
+            assert not view.flags.writeable
+            del view  # the segment buffer must not outlive the registry
+            for segment in keepalive:
+                segment.close()
+
+    def test_zero_length_array(self):
+        keepalive: list = []
+        with ShmRegistry() as registry:
+            manifest = registry.publish_array(array("q", []))
+            view = attach_index_array(manifest, keepalive)
+            assert len(view) == 0 and keepalive == []
+
+
+class TestCSRSharedRoundTrip:
+    def _roundtrip(self, csr: CSRGraph) -> None:
+        keepalive: list = []
+        with ShmRegistry() as registry:
+            clone = CSRGraph.from_shared(csr.to_shared(registry), keepalive)
+            assert clone.nodes == csr.nodes
+            assert clone.index == csr.index
+            assert clone.out_offsets.tobytes() == csr.out_offsets.tobytes()
+            assert clone.out_predicates.tobytes() == csr.out_predicates.tobytes()
+            assert clone.out_objects.tobytes() == csr.out_objects.tobytes()
+            del clone  # views die before the registry unlinks the segments
+            for segment in keepalive:
+                segment.close()
+        assert list_segments() == []
+
+    def test_snapshot_bit_identical(self, small_graph):
+        self._roundtrip(CSRGraph(small_graph))
+
+    def test_empty_graph(self):
+        self._roundtrip(CSRGraph(RDFGraph()))
+
+    def test_nodes_without_edges(self):
+        # Zero-length pair arrays with a non-empty node table.
+        g = RDFGraph()
+        g.add(uri("solo"), uri("p"), lit("x"))
+        csr = CSRGraph(g)
+        object_only = CSRGraph.from_parts(
+            csr.nodes, array("q", [0] * (len(csr.nodes) + 1)),
+            array("q", []), array("q", []),
+        )
+        self._roundtrip(object_only)
+
+
+class TestCleanupGuarantees:
+    def test_unlink_on_exception(self):
+        with pytest.raises(RuntimeError, match="mid-publish"):
+            with ShmRegistry() as registry:
+                registry.publish_bytes(b"doomed")
+                assert list_segments() != []
+                raise RuntimeError("mid-publish")
+        assert list_segments() == []
+
+    def test_unlink_is_idempotent(self):
+        registry = ShmRegistry()
+        registry.publish_bytes(b"payload")
+        registry.unlink()
+        registry.unlink()
+        assert list_segments() == []
+
+    def test_attacher_exit_does_not_destroy_segment(self):
+        # The owner, not an attacher, unlinks: after a worker-side
+        # attach/close cycle the segment must still be readable.
+        with ShmRegistry() as registry:
+            manifest = registry.publish_bytes(b"still here")
+            assert attach_bytes(manifest) == b"still here"
+            assert attach_bytes(manifest) == b"still here"
+        assert list_segments() == []
+
+
+def _crash_cell(store, config, item):
+    """A cell that dies the hard way (no Python-level cleanup runs)."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+@needs_fork
+class TestWorkerCrash:
+    def test_killed_worker_leaks_no_segments(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        store = VersionStore(SyntheticGenerator.shared(SCENARIOS["small_er"]))
+        store.prepare(summaries=True, tokens=("trivial", "deblank"))
+        with pytest.raises(BrokenProcessPool):
+            run_store_cells(
+                store, _crash_cell, [(0, 1), (1, 2)],
+                jobs=2, context="fork", force=True,
+            )
+        assert list_segments() == []
