@@ -29,6 +29,7 @@ from .exceptions import (
     AlignError,
     AlignmentError,
     ConfigError,
+    CorruptStoreError,
     ExperimentError,
     GraphError,
     ParseError,
@@ -38,8 +39,10 @@ from .exceptions import (
     ReproError,
     SchemaError,
     ThresholdError,
+    TransientError,
     UnknownEngineError,
     UnknownMethodError,
+    WorkerCrashError,
 )
 from .model import (
     BLANK,
@@ -68,9 +71,12 @@ __all__ = [
     "AlignmentResult",
     "BLANK",
     "ConfigError",
+    "CorruptStoreError",
     "MethodSpec",
     "ReportError",
     "ThresholdError",
+    "TransientError",
+    "WorkerCrashError",
     "UnknownEngineError",
     "UnknownMethodError",
     "register_method",

@@ -77,6 +77,23 @@ class AlignConfig:
         VersionStore` from the archive instead of regenerating the
         dataset — byte-identical results, restart-surviving artifacts.
         ``None`` (the default) keeps everything in memory.
+    retries:
+        Retry budget for transient execution failures (worker crashes,
+        transient backend I/O errors, pool start failures): the number
+        of *re*-tries, so ``retries + 1`` attempts total before the
+        runner degrades to serial in-process execution.  Never affects
+        results, only resilience — the differential oracle's faults
+        axis pins byte-identical reports under injected faults.
+    cell_timeout:
+        Seconds a single experiment cell may run in a pool worker
+        before the parent kills the pool and retries (``None`` = no
+        timeout).  Also guards the autotune overhead probe.
+    verify_checksums:
+        When ``True`` (default), :class:`~repro.experiments.persist.
+        DiskBackend` verifies each block's CRC32 + byte count against
+        the manifest on every read, raising
+        :class:`~repro.exceptions.CorruptStoreError` on mismatch;
+        ``False`` skips verification (trusted local archives).
     """
 
     method: str = "hybrid"
@@ -87,6 +104,9 @@ class AlignConfig:
     jobs: int = 1
     incremental: bool = False
     backend: str | None = None
+    retries: int = 2
+    cell_timeout: float | None = None
+    verify_checksums: bool = True
 
     def __post_init__(self) -> None:
         from ..core.dense import resolve_refine_engine
@@ -135,6 +155,24 @@ class AlignConfig:
                 raise ConfigError(
                     f"backend must be a path string or None, got {self.backend!r}"
                 )
+        if isinstance(self.retries, bool) or not isinstance(self.retries, int):
+            raise ConfigError(f"retries must be an integer, got {self.retries!r}")
+        if self.retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {self.retries!r}")
+        if self.cell_timeout is not None:
+            if isinstance(self.cell_timeout, bool) or not isinstance(
+                    self.cell_timeout, (int, float)):
+                raise ConfigError(
+                    f"cell_timeout must be a number or None, got {self.cell_timeout!r}"
+                )
+            if self.cell_timeout <= 0:
+                raise ConfigError(
+                    f"cell_timeout must be positive or None, got {self.cell_timeout!r}"
+                )
+        if not isinstance(self.verify_checksums, bool):
+            raise ConfigError(
+                f"verify_checksums must be a boolean, got {self.verify_checksums!r}"
+            )
 
     # ------------------------------------------------------------------
     def evolve(self, **changes) -> "AlignConfig":
@@ -174,4 +212,7 @@ class AlignConfig:
             "jobs": self.jobs,
             "incremental": self.incremental,
             "backend": self.backend,
+            "retries": self.retries,
+            "cell_timeout": self.cell_timeout,
+            "verify_checksums": self.verify_checksums,
         }

@@ -286,11 +286,18 @@ class Aligner:
             return graph
         if isinstance(graph, (str, os.PathLike)):
             from ..io import load_graph  # late: io imports nothing back
+            from ..robustness.retry import RetryPolicy, call_with_retry
 
             key = os.fspath(graph)
             cached = self._loaded.get(key)
             if cached is None:
-                cached = self._loaded[key] = load_graph(graph)
+                # Transient I/O errors (NFS hiccups, injected EIO) are
+                # retried under the session's budget; a missing file is
+                # not transient and propagates immediately.
+                cached = self._loaded[key] = call_with_retry(
+                    lambda: load_graph(graph),
+                    policy=RetryPolicy.from_config(self.config),
+                )
                 while len(self._loaded) > self.PATH_CACHE_SIZE:
                     self._loaded.popitem(last=False)
             else:

@@ -19,7 +19,9 @@ Subcommands
     VersionStore from a persisted archive).
 ``store``
     Persist a dataset's VersionStore to disk (``save``), reload and
-    summarize it (``load``), or list an archive's keys (``ls``).
+    summarize it (``load``), list an archive's keys (``ls``), or
+    recompute its checksums (``verify``, with ``--quarantine`` to
+    isolate corrupt blocks for rebuild-from-source).
 
 Every alignment flag is collected into one
 :class:`~repro.align.config.AlignConfig` and handed to the session API —
@@ -244,6 +246,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "ls", help="list the keys of a persisted store archive"
     )
     store_ls.add_argument("path", help="archive directory")
+    store_verify = store_actions.add_parser(
+        "verify",
+        help="recompute every block's checksum; exit 1 on corruption",
+    )
+    store_verify.add_argument("path", help="archive directory")
+    store_verify.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="move corrupt block files into quarantine/ and drop them "
+        "from the manifest so the next load rebuilds them from the "
+        "version graphs",
+    )
     return parser
 
 
@@ -499,6 +513,34 @@ def _command_store(args: argparse.Namespace) -> int:
                 f"  v{version + 1}: {stats.num_edges} triples, "
                 f"{stats.num_nodes} nodes"
             )
+    elif args.store_command == "verify":
+        backend = DiskBackend.open(args.path)
+        problems = backend.verify(quarantine=args.quarantine)
+        total = sum(len(keys) for kind, keys in backend.keys().items()
+                    if kind in ("blob", "array"))
+        if not problems:
+            print(f"store OK: {total} blocks verified, 0 corrupt")
+            return 0
+        for problem in problems:
+            print(
+                f"CORRUPT {problem['kind']:5s} {problem['key']} "
+                f"({problem['file']}): {problem['reason']}",
+                file=sys.stderr,
+            )
+        if args.quarantine:
+            print(
+                f"{len(problems)} corrupt block(s) moved to quarantine/ and "
+                "dropped from the manifest; the next load rebuilds them "
+                "from the version graphs",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"{len(problems)} corrupt block(s) found "
+                "(re-run with --quarantine to isolate them)",
+                file=sys.stderr,
+            )
+        return 1
     else:  # ls
         for line in describe(DiskBackend.open(args.path)):
             print(line)
@@ -521,6 +563,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        # A Ctrl-C mid-pooled-run must not leak published /dev/shm
+        # segments (the pool's context manager may not get to unwind if
+        # the interrupt lands between frames) — unlink them here, report
+        # the POSIX convention code instead of a traceback.
+        from .experiments.shm import cleanup_registries
+
+        cleaned = cleanup_registries()
+        suffix = f" ({cleaned} shared-memory registr{'y' if cleaned == 1 else 'ies'} unlinked)" if cleaned else ""
+        print(f"interrupted{suffix}", file=sys.stderr)
+        return 130
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

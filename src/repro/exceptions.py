@@ -90,3 +90,40 @@ class ThresholdError(ConfigError):
 
 class ReportError(AlignError):
     """An alignment report payload does not match the declared schema."""
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerant execution (repro.robustness)
+# ----------------------------------------------------------------------
+class TransientError(AlignError):
+    """A recoverable failure: retrying the operation may well succeed.
+
+    Raised (or wrapped) by the execution layer for failures that are a
+    property of the *run*, not the *input* — a transient I/O error from
+    a persistence backend, a cell exceeding its timeout, a worker pool
+    that failed to start.  The retry machinery in
+    :mod:`repro.robustness.retry` catches exactly this class (plus raw
+    ``OSError``), so anything that should be retried must derive from it.
+    """
+
+
+class WorkerCrashError(TransientError):
+    """A pool worker died mid-cell (SIGKILL, OOM, hard crash).
+
+    Transient by classification: the parent re-publishes the shared
+    segments and re-runs only the lost cells (bounded by the retry
+    budget), then degrades to serial in-process execution — the cell
+    itself is deterministic, so the crash says nothing about the input.
+    """
+
+
+class CorruptStoreError(AlignError, ExperimentError):
+    """Persisted store data failed verification (checksum/size mismatch).
+
+    Raised by :class:`~repro.experiments.persist.DiskBackend` when a
+    block's CRC32 or byte count disagrees with its manifest entry, and
+    by :meth:`~repro.experiments.store.VersionStore.load` when a corrupt
+    artifact cannot be rebuilt from source.  Also an
+    :class:`ExperimentError` so pre-robustness callers that catch the
+    store's legacy error type keep working.
+    """

@@ -24,20 +24,43 @@ The backend speaks four key/value planes — ``blob`` (bytes), ``array``
 ``reports`` convenience — all addressed by forward-slash keys.  Writers
 call :meth:`flush` once at the end; :meth:`DiskBackend.open` attaches to
 an existing directory read-only.
+
+Durability and corruption detection (manifest schema v2):
+
+* every block/blob write is **atomic and fsync'd** (temp file + fsync +
+  ``os.replace`` + directory fsync), so a crash mid-write never leaves a
+  half-written file behind a manifest entry;
+* every manifest entry carries the payload's **CRC32** and byte count;
+  reads verify both (``verify_checksums=True``, the default) and raise
+  :class:`~repro.exceptions.CorruptStoreError` on mismatch;
+* transient ``OSError``\\ s during reads are retried with backoff
+  (:mod:`repro.robustness.retry`); the seeded fault hooks of
+  :mod:`repro.robustness.faults` sit on the same read path
+  (``site="backend.read"``) so both behaviors are testable;
+* :meth:`DiskBackend.verify` re-walks the whole archive, optionally
+  moving corrupt files into ``quarantine/`` — the engine behind
+  ``rdf-align store verify``.
+
+v1 manifests (pre-checksum) still load; their entries simply verify by
+size only.  Manifests newer than :data:`MANIFEST_VERSION` are rejected.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from typing import Any, Iterable
 
-from ..exceptions import ExperimentError
+from ..exceptions import CorruptStoreError, ExperimentError
+from ..robustness import faults
+from ..robustness.retry import RetryPolicy, call_with_retry
 
 #: Manifest identity of a persisted store directory.
 MANIFEST_SCHEMA = "repro/version-store"
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
 MANIFEST_NAME = "manifest.json"
+QUARANTINE_DIR = "quarantine"
 
 
 def _require_numpy():
@@ -115,9 +138,12 @@ class DiskBackend:
 
     persistent = True
 
-    def __init__(self, root: str | os.PathLike, readonly: bool = False) -> None:
+    def __init__(self, root: str | os.PathLike, readonly: bool = False, *,
+                 verify_checksums: bool = True, retries: int = 2) -> None:
         self.root = os.fspath(root)
         self.readonly = readonly
+        self.verify_checksums = verify_checksums
+        self.retries = retries
         self._blobs: dict[str, dict] = {}
         self._arrays: dict[str, dict] = {}
         self._json: dict[str, Any] = {}
@@ -131,17 +157,30 @@ class DiskBackend:
             )
 
     @classmethod
-    def open(cls, root: str | os.PathLike) -> "DiskBackend":
+    def open(cls, root: str | os.PathLike, *,
+             verify_checksums: bool = True) -> "DiskBackend":
         """Attach to an existing store directory, read-only."""
-        return cls(root, readonly=True)
+        return cls(root, readonly=True, verify_checksums=verify_checksums)
 
     def _load_manifest(self, path: str) -> None:
-        with open(path, "r", encoding="utf-8") as handle:
-            manifest = json.load(handle)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise CorruptStoreError(
+                f"{path} is not valid JSON (truncated or corrupted "
+                f"manifest?): {error}"
+            ) from error
         if manifest.get("schema") != MANIFEST_SCHEMA:
             raise ExperimentError(
                 f"{path} is not a persisted version store "
                 f"(schema {manifest.get('schema')!r})"
+            )
+        version = manifest.get("version", 1)
+        if not isinstance(version, int) or version > MANIFEST_VERSION:
+            raise ExperimentError(
+                f"{path} has manifest version {version!r}; this build "
+                f"reads versions 1..{MANIFEST_VERSION}"
             )
         self._blobs = dict(manifest.get("blobs", {}))
         self._arrays = dict(manifest.get("arrays", {}))
@@ -154,37 +193,54 @@ class DiskBackend:
                 f"store at {self.root!r} was opened read-only"
             )
 
+    def _atomic_write(self, relative: str, data: bytes) -> None:
+        """Crash-safe file write: temp + fsync + replace + dir fsync."""
+        path = os.path.join(self.root, relative)
+        temp = path + ".tmp"
+        with open(temp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+        directory_fd = os.open(os.path.dirname(path), os.O_RDONLY)
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
+
     def _write_file(self, subdir: str, stem: str, data: bytes) -> str:
         directory = os.path.join(self.root, subdir)
         os.makedirs(directory, exist_ok=True)
-        filename = f"{stem}.bin"
-        with open(os.path.join(directory, filename), "wb") as handle:
-            handle.write(data)
-        return f"{subdir}/{filename}"
+        relative = f"{subdir}/{stem}.bin"
+        self._atomic_write(relative, data)
+        return relative
 
     def put_blob(self, key: str, data: bytes) -> None:
         self._guard_write()
         data = bytes(data)
         entry = self._blobs.get(key) or {}
-        path = self._write_file("blobs", f"b{len(self._blobs)}", data) \
-            if "file" not in entry else entry["file"]
         if "file" in entry:
-            with open(os.path.join(self.root, path), "wb") as handle:
-                handle.write(data)
-        self._blobs[key] = {"file": path, "nbytes": len(data)}
+            path = entry["file"]
+            self._atomic_write(path, data)
+        else:
+            path = self._write_file("blobs", f"b{len(self._blobs)}", data)
+        self._blobs[key] = {
+            "file": path, "nbytes": len(data), "crc32": zlib.crc32(data),
+        }
         self._dirty = True
 
     def put_array(self, key: str, buffer) -> None:
         self._guard_write()
         data = bytes(memoryview(buffer).cast("B"))
         entry = self._arrays.get(key) or {}
-        path = self._write_file("blocks", f"a{len(self._arrays)}", data) \
-            if "file" not in entry else entry["file"]
         if "file" in entry:
-            with open(os.path.join(self.root, path), "wb") as handle:
-                handle.write(data)
+            path = entry["file"]
+            self._atomic_write(path, data)
+        else:
+            path = self._write_file("blocks", f"a{len(self._arrays)}", data)
         self._arrays[key] = {
             "file": path, "dtype": "int64", "count": len(data) // 8,
+            "crc32": zlib.crc32(data),
         }
         self._dirty = True
 
@@ -194,7 +250,7 @@ class DiskBackend:
         self._dirty = True
 
     def flush(self) -> None:
-        """Write the manifest (atomically: temp file + rename)."""
+        """Write the manifest (atomically: temp + fsync + rename)."""
         if self.readonly or not self._dirty:
             return
         os.makedirs(self.root, exist_ok=True)
@@ -205,29 +261,79 @@ class DiskBackend:
             "arrays": self._arrays,
             "json": self._json,
         }
-        path = os.path.join(self.root, MANIFEST_NAME)
-        temp = path + ".tmp"
-        with open(temp, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-        os.replace(temp, path)
+        payload = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        self._atomic_write(MANIFEST_NAME, payload.encode("utf-8"))
         self._dirty = False
 
     # -- read -----------------------------------------------------------
+    def _read_file(self, relative: str, key: str) -> bytes:
+        """Read one store file: fault hooks + bounded transient retry.
+
+        Transient ``OSError``\\ s (including injected ones) are retried
+        under an exponential-backoff budget of ``self.retries``; the
+        payload then passes through the seeded corruption filter so the
+        checksum layer can be exercised without touching the disk.
+        """
+        path = os.path.join(self.root, relative)
+
+        def read() -> bytes:
+            if faults.ACTIVE is not None:
+                faults.fire("backend.read", key=key)
+            with open(path, "rb") as handle:
+                data = handle.read()
+            if faults.ACTIVE is not None:
+                data = faults.filter_bytes("backend.read", key, data)
+            return data
+
+        if faults.ACTIVE is None and self.retries == 0:
+            return read()
+        return call_with_retry(
+            read, policy=RetryPolicy(retries=self.retries, base_delay=0.01))
+
+    def _check(self, kind: str, key: str, entry: dict, data: bytes) -> None:
+        """Verify *data* against its manifest *entry* (size + CRC32)."""
+        expected = entry.get("nbytes")
+        if expected is None and "count" in entry:
+            expected = entry["count"] * 8
+        if expected is not None and len(data) != expected:
+            raise CorruptStoreError(
+                f"{kind} {key!r} ({entry['file']}): expected {expected} "
+                f"bytes, found {len(data)} (truncated block?)"
+            )
+        crc = entry.get("crc32")
+        if crc is not None and zlib.crc32(data) != crc:
+            raise CorruptStoreError(
+                f"{kind} {key!r} ({entry['file']}): CRC32 mismatch "
+                f"(expected {crc}, computed {zlib.crc32(data)})"
+            )
+
     def get_blob(self, key: str) -> bytes | None:
         entry = self._blobs.get(key)
         if entry is None:
             return None
-        with open(os.path.join(self.root, entry["file"]), "rb") as handle:
-            return handle.read()
+        data = self._read_file(entry["file"], key)
+        if self.verify_checksums:
+            self._check("blob", key, entry, data)
+        return data
 
     def get_array(self, key: str):
-        """A read-only memory-mapped int64 view of one block file."""
+        """A read-only memory-mapped int64 view of one block file.
+
+        With ``verify_checksums`` on, the file's bytes are read and
+        checked against the manifest first; the returned view is still
+        the zero-copy memmap (the verification read warms the same page
+        cache the mmap serves from).
+        """
         entry = self._arrays.get(key)
         if entry is None:
             return None
         numpy = _require_numpy()
         if entry["count"] == 0:
             return numpy.empty(0, dtype=numpy.int64)
+        if self.verify_checksums or faults.ACTIVE is not None:
+            data = self._read_file(entry["file"], key)
+            if self.verify_checksums:
+                self._check("array", key, entry, data)
         return numpy.memmap(
             os.path.join(self.root, entry["file"]),
             dtype=numpy.int64,
@@ -237,6 +343,48 @@ class DiskBackend:
 
     def get_json(self, key: str) -> Any:
         return self._json.get(key)
+
+    # -- integrity ------------------------------------------------------
+    def verify(self, quarantine: bool = False) -> list[dict]:
+        """Re-walk the archive, recomputing every block's checksum.
+
+        Returns one record per corrupt entry: ``{"kind", "key", "file",
+        "reason"}``.  With ``quarantine=True`` the corrupt files are
+        moved into ``quarantine/`` and their entries dropped from the
+        manifest (rewritten atomically), so a subsequent
+        :meth:`VersionStore.load` rebuilds them from source.
+        """
+        problems: list[dict] = []
+        for kind, table in (("blob", self._blobs), ("array", self._arrays)):
+            for key, entry in sorted(table.items()):
+                path = os.path.join(self.root, entry["file"])
+                try:
+                    with open(path, "rb") as handle:
+                        data = handle.read()
+                    self._check(kind, key, entry, data)
+                except (OSError, CorruptStoreError) as error:
+                    problems.append({
+                        "kind": kind, "key": key,
+                        "file": entry["file"], "reason": str(error),
+                    })
+        if quarantine and problems:
+            was_readonly = self.readonly
+            quarantine_dir = os.path.join(self.root, QUARANTINE_DIR)
+            os.makedirs(quarantine_dir, exist_ok=True)
+            for problem in problems:
+                source = os.path.join(self.root, problem["file"])
+                if os.path.exists(source):
+                    os.replace(source, os.path.join(
+                        quarantine_dir, os.path.basename(problem["file"])))
+                table = self._blobs if problem["kind"] == "blob" else self._arrays
+                table.pop(problem["key"], None)
+            self.readonly = False
+            self._dirty = True
+            try:
+                self.flush()
+            finally:
+                self.readonly = was_readonly
+        return problems
 
     def keys(self) -> dict[str, list[str]]:
         return {

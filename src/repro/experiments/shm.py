@@ -186,12 +186,24 @@ class ShmRegistry:
         self.unlink()
 
 
-@atexit.register
-def _cleanup_registries() -> None:  # pragma: no cover - interpreter exit
+def cleanup_registries() -> int:
+    """Unlink every segment still owned by a live registry; count them.
+
+    The emergency path: the CLI's KeyboardInterrupt handler (and the
+    ``atexit`` hook below) call this so an interrupted pooled run never
+    leaves ``/dev/shm`` entries behind.  Unlinking is idempotent, so
+    calling it while pools are also shutting down is safe.
+    """
     with _LOCK:
         live = list(_LIVE_REGISTRIES)
     for registry in live:
         registry.unlink()
+    return len(live)
+
+
+@atexit.register
+def _cleanup_registries() -> None:  # pragma: no cover - interpreter exit
+    cleanup_registries()
 
 
 # ----------------------------------------------------------------------

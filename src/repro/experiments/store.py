@@ -51,7 +51,7 @@ from ..datasets.dbpedia import DBpediaCategoryGenerator
 from ..datasets.efo import EFOGenerator
 from ..datasets.gtopdb import GtoPdbGenerator
 from ..datasets.synthetic import SHAPE_FAMILIES
-from ..exceptions import ExperimentError
+from ..exceptions import CorruptStoreError, ExperimentError
 from ..model.csr import CSRGraph
 from ..model.graph import NodeId, TripleGraph
 from ..model.union import SOURCE, CombinedGraph
@@ -320,6 +320,9 @@ class VersionStore:
         self.identity: dict | None = None
         #: The persistence backend this store was loaded from (if any).
         self.backend = None
+        #: Corrupt derived artifacts skipped at load time (rebuilt lazily
+        #: from the graphs): ``[{"key", "reason"}, ...]``.
+        self.quarantined: list[dict] = []
         self.hits: dict[str, int] = {}
         self.misses: dict[str, int] = {}
 
@@ -332,13 +335,15 @@ class VersionStore:
         seed: int,
         versions: int,
         backend=None,
+        verify_checksums: bool = True,
     ) -> "VersionStore":
         """The process-wide store for one dataset configuration.
 
         With *backend* (a path or persistence backend, see
         :mod:`repro.experiments.persist`) the store is **loaded** from a
         persisted archive instead of regenerated — the archive's identity
-        must match the requested coordinates.
+        must match the requested coordinates.  *verify_checksums* is
+        forwarded to the load (``AlignConfig.verify_checksums``).
         """
         try:
             factory = GENERATOR_FAMILIES[family]
@@ -357,7 +362,9 @@ class VersionStore:
                 "versions": int(versions),
             }
             if backend is not None:
-                store = cls.load(backend, expect=identity)
+                store = cls.load(
+                    backend, expect=identity, verify_checksums=verify_checksums
+                )
             else:
                 store = cls(factory.shared(scale=scale, seed=seed, versions=versions))
                 store.identity = identity
@@ -924,21 +931,32 @@ class VersionStore:
         return backend
 
     @classmethod
-    def load(cls, backend, expect: dict | None = None) -> "VersionStore":
+    def load(cls, backend, expect: dict | None = None, *,
+             verify_checksums: bool = True) -> "VersionStore":
         """Reload a persisted store (fresh process, read-only backends OK).
 
         *expect* pins the archive identity (family/scale/seed/versions):
         a mismatch raises instead of silently aligning the wrong data.
         CSR blocks come back as read-only views over the backend's block
         storage (memory-mapped files for :class:`DiskBackend`).
+
+        **Quarantine-and-rebuild:** derived artifacts (CSR blocks,
+        summaries, edge tokens, literal splits) that fail checksum
+        verification or unpickling are *skipped* — recorded on
+        ``store.quarantined`` — and lazily rebuilt from the version
+        graphs, which are the archive's source of truth.  A corrupt
+        *graph* blob cannot be rebuilt and raises
+        :class:`~repro.exceptions.CorruptStoreError`.
         """
         from ..io import ntriples
         from .persist import DiskBackend, resolve_backend
 
         if isinstance(backend, (str, os.PathLike)):
-            backend = DiskBackend.open(backend)
+            backend = DiskBackend.open(backend, verify_checksums=verify_checksums)
         else:
             backend = resolve_backend(backend)
+            if hasattr(backend, "verify_checksums"):
+                backend.verify_checksums = verify_checksums
         identity = backend.get_json("store/identity") or {}
         versions = int(
             backend.get_json("store/versions") or identity.get("versions") or 0
@@ -960,7 +978,14 @@ class VersionStore:
                 )
         graphs = []
         for version in range(versions):
-            blob = backend.get_blob(f"graphs/{version}.nt")
+            try:
+                blob = backend.get_blob(f"graphs/{version}.nt")
+            except CorruptStoreError as error:
+                raise CorruptStoreError(
+                    f"graphs/{version}.nt is corrupt and graphs are the "
+                    f"archive's source of truth — nothing to rebuild from "
+                    f"(re-save the store): {error}"
+                ) from error
             if blob is None:
                 raise ExperimentError(
                     f"persisted store is missing graphs/{version}.nt"
@@ -969,24 +994,54 @@ class VersionStore:
         store = cls(_PrebuiltHistory(graphs))
         store.identity = identity or None
         store.backend = backend
+        quarantined: list[dict] = []
+
+        def salvage(description: str, rebuild_fn):
+            # Derived artifacts are rebuildable from the graphs: corrupt
+            # or unreadable entries are skipped (and recorded), never
+            # fatal.  Unpickling hostile bytes can raise nearly anything,
+            # hence the broad except.
+            try:
+                return rebuild_fn()
+            except Exception as error:
+                if not isinstance(error, (CorruptStoreError, OSError,
+                                          pickle.UnpicklingError, EOFError,
+                                          ValueError, TypeError, KeyError,
+                                          IndexError, AttributeError)):
+                    raise
+                quarantined.append(
+                    {"key": description, "reason": repr(error)}
+                )
+                return None
+
         for version in range(versions):
-            nodes_blob = backend.get_blob(f"csr/{version}/nodes")
-            if nodes_blob is None:
-                continue
-            store._csr_blocks[version] = CSRGraph.from_parts(
-                pickle.loads(nodes_blob),
-                backend.get_array(f"csr/{version}/offsets"),
-                backend.get_array(f"csr/{version}/predicates"),
-                backend.get_array(f"csr/{version}/objects"),
-            )
+            def load_block(version=version):
+                nodes_blob = backend.get_blob(f"csr/{version}/nodes")
+                if nodes_blob is None:
+                    return None
+                return CSRGraph.from_parts(
+                    pickle.loads(nodes_blob),
+                    backend.get_array(f"csr/{version}/offsets"),
+                    backend.get_array(f"csr/{version}/predicates"),
+                    backend.get_array(f"csr/{version}/objects"),
+                )
+
+            block = salvage(f"csr/{version}", load_block)
+            if block is not None:
+                store._csr_blocks[version] = block
         for key, attribute in (
             ("artifacts/summaries", "_summaries"),
             ("artifacts/edge_tokens", "_edge_tokens"),
             ("artifacts/splits", "_split_cache"),
         ):
-            blob = backend.get_blob(key)
-            if blob is not None:
-                getattr(store, attribute).update(pickle.loads(blob))
+            def load_artifact(key=key):
+                blob = backend.get_blob(key)
+                return None if blob is None else pickle.loads(blob)
+
+            payload = salvage(key, load_artifact)
+            if payload is not None:
+                getattr(store, attribute).update(payload)
+        store.quarantined = quarantined
         return store
 
     # ------------------------------------------------------------------

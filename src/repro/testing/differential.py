@@ -83,10 +83,11 @@ DEFAULT_JOBS: tuple[int, ...] = (1, 2)
 DEFAULT_ENGINES: tuple[str, ...] = ("reference", "dense")
 
 #: The oracle's selectable axes: ``"all"`` runs every invariant,
-#: ``"incremental"`` runs only the incremental-vs-scratch parity check
-#: and ``"persistence"`` only the save/load parity check (both are
-#: dedicated CI jobs, cheap enough to run on every push).
-AXES: tuple[str, ...] = ("all", "incremental", "persistence")
+#: ``"incremental"`` runs only the incremental-vs-scratch parity check,
+#: ``"persistence"`` only the save/load parity check, and ``"faults"``
+#: only the fault-tolerance parity check (each a dedicated CI job,
+#: cheap enough to run on every push).
+AXES: tuple[str, ...] = ("all", "incremental", "persistence", "faults")
 
 
 @dataclass(frozen=True)
@@ -580,6 +581,185 @@ class _ScenarioOracle:
                                 pair=pair,
                             )
 
+    def check_fault_tolerance(self) -> None:
+        """Injected-fault runs must reproduce the fault-free run's bytes.
+
+        The resilience counterpart of persistence parity (ISSUE 8
+        acceptance): the scenario's history is executed under seeded
+        :class:`~repro.robustness.faults.FaultPlan`\\ s covering every
+        recovery path — worker SIGKILL recovered by retry, worker
+        SIGKILL on *every* attempt (degrades to serial, recorded as a
+        :class:`DegradationEvent`), transient backend I/O errors
+        recovered by read retry, and a real on-disk bit-flip detected by
+        the CRC32 layer and healed by quarantine-and-rebuild.  For every
+        plan the invariants are: the run **completes** (via retry or
+        recorded degradation), its results and final AlignmentReports
+        are **byte-identical** to the fault-free run, and **zero**
+        ``/dev/shm`` segments leak.
+        """
+        import tempfile
+
+        from ..experiments import cells
+        from ..experiments.parallel import run_store_cells
+        from ..experiments.persist import DiskBackend
+        from ..experiments.shm import list_segments, shm_available
+        from ..experiments.store import VersionStore
+        from ..robustness import FaultPlan, FaultSpec, drain_events, inject
+
+        pairs = list(self.report.pairs)
+        config = AlignConfig(retries=2, cell_timeout=None)
+
+        # ---- pool plans: crash recovery and degradation ---------------
+        store = VersionStore(self.generator)
+        store.prepare(summaries=True, tokens=("trivial", "deblank"), csr=True)
+        clean = run_store_cells(
+            store, cells.edge_ratio_cell, pairs, jobs=2, config=config,
+            force=True,
+        )
+        clean_bytes = json.dumps(clean, sort_keys=True)
+        self.report.cells += len(pairs)
+        pool_plans = {
+            "worker_sigkill": (
+                FaultPlan(
+                    name="worker_sigkill",
+                    specs=(FaultSpec(site="worker.cell", kind="sigkill",
+                                     attempts=(0,), times=1),),
+                ),
+                "recovers",
+            ),
+            "worker_sigkill_exhausted": (
+                FaultPlan(
+                    name="worker_sigkill_exhausted",
+                    specs=(FaultSpec(site="worker.cell", kind="sigkill",
+                                     index=0, attempts=None, times=None),),
+                ),
+                "degrades",
+            ),
+        }
+        if shm_available():
+            for name, (plan, expectation) in pool_plans.items():
+                drain_events()
+                events: list = []
+                try:
+                    with inject(plan):
+                        faulted = run_store_cells(
+                            store, cells.edge_ratio_cell, pairs, jobs=2,
+                            config=config, force=True, events=events,
+                        )
+                except Exception as error:
+                    self._diverge(
+                        "fault_tolerance", name,
+                        f"run under plan {name!r} did not complete: "
+                        f"{type(error).__name__}: {error}",
+                    )
+                    continue
+                self.report.cells += len(pairs)
+                if json.dumps(faulted, sort_keys=True) != clean_bytes:
+                    self._diverge(
+                        "fault_tolerance", name,
+                        f"results under plan {name!r} differ byte-wise from "
+                        f"the fault-free run",
+                    )
+                if expectation == "degrades" and not events:
+                    self._diverge(
+                        "fault_tolerance", name,
+                        f"plan {name!r} exhausted the retry budget but no "
+                        f"DegradationEvent was recorded",
+                    )
+                if expectation == "recovers" and events:
+                    self._diverge(
+                        "fault_tolerance", name,
+                        f"plan {name!r} should be absorbed by the retry "
+                        f"budget, but the run degraded: "
+                        f"{[e.to_dict() for e in events]}",
+                    )
+                leaked = list_segments()
+                if leaked:
+                    self._diverge(
+                        "fault_tolerance", name,
+                        f"{len(leaked)} leaked /dev/shm segment(s) after "
+                        f"plan {name!r}: {leaked}",
+                    )
+
+        # ---- backend plans: transient I/O and real corruption ---------
+        engine = self.report.engines[0]
+        method = "hybrid" if "hybrid" in self.report.methods else self.report.methods[0]
+        align_config = AlignConfig(method=method, engine=engine)
+
+        def reports_from(loaded_store) -> list[str]:
+            graphs = loaded_store.graphs()
+            rendered = []
+            for source, target in pairs:
+                outcome = _run_cell(align_config, graphs[source], graphs[target])
+                self.report.cells += 1
+                if isinstance(outcome, Refusal):
+                    rendered.append(f"refusal:{outcome.error_type}")
+                else:
+                    rendered.append(outcome.report(align_config).to_json())
+            return rendered
+
+        with tempfile.TemporaryDirectory() as tmp:
+            root = os.path.join(tmp, "store")
+            store.save(root)
+            baseline_reports = reports_from(VersionStore.load(root))
+
+            transient = FaultPlan(
+                name="transient_io",
+                specs=(FaultSpec(site="backend.read", kind="oserror",
+                                 key="graphs/", times=2, attempts=None),),
+            )
+            try:
+                with inject(transient):
+                    faulted_reports = reports_from(VersionStore.load(root))
+            except Exception as error:
+                self._diverge(
+                    "fault_tolerance", "transient_io",
+                    f"load under transient I/O faults did not complete: "
+                    f"{type(error).__name__}: {error}",
+                )
+            else:
+                if faulted_reports != baseline_reports:
+                    self._diverge(
+                        "fault_tolerance", "transient_io",
+                        "reports after transient-I/O recovery differ "
+                        "byte-wise from the fault-free run",
+                    )
+
+            # Real durable corruption: flip one byte of a CSR block file
+            # on disk.  The CRC32 layer must detect it, load must
+            # quarantine the artifact and rebuild it from the graphs,
+            # and the reports must not change.
+            backend = DiskBackend.open(root)
+            entry = backend._arrays.get("csr/0/offsets")
+            if entry is not None:
+                victim = os.path.join(root, entry["file"])
+                with open(victim, "r+b") as handle:
+                    first = handle.read(1)
+                    handle.seek(0)
+                    handle.write(bytes([first[0] ^ 0xFF]))
+                try:
+                    corrupted = VersionStore.load(root)
+                    corrupt_reports = reports_from(corrupted)
+                except Exception as error:
+                    self._diverge(
+                        "fault_tolerance", "corrupt_block",
+                        f"load of a bit-flipped archive did not complete: "
+                        f"{type(error).__name__}: {error}",
+                    )
+                else:
+                    if not corrupted.quarantined:
+                        self._diverge(
+                            "fault_tolerance", "corrupt_block",
+                            "bit-flipped CSR block was not detected/"
+                            "quarantined at load time",
+                        )
+                    if corrupt_reports != baseline_reports:
+                        self._diverge(
+                            "fault_tolerance", "corrupt_block",
+                            "reports after quarantine-and-rebuild differ "
+                            "byte-wise from the fault-free run",
+                        )
+
     def check_report_roundtrip(self, method: str,
                                reports: Iterable[AlignmentReport]) -> None:
         for index, report in enumerate(reports):
@@ -604,6 +784,9 @@ class _ScenarioOracle:
     def run(self) -> DifferentialReport:
         if self.axis == "persistence":
             self.check_persistence_parity()
+            return self.report
+        if self.axis == "faults":
+            self.check_fault_tolerance()
             return self.report
         full = self.axis == "all"
         all_results: dict[str, dict[str, list]] = {
@@ -745,7 +928,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         default="all",
         help="invariant set to run (incremental = only the "
         "incremental-vs-scratch parity check; persistence = only the "
-        "save/load backend parity check)",
+        "save/load backend parity check; faults = only the seeded "
+        "fault-injection parity check)",
     )
     args = parser.parse_args(argv)
 

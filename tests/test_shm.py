@@ -7,7 +7,10 @@ The contract under test (repro.experiments.shm + CSRGraph.to_shared):
 * a :class:`ShmRegistry` unlinks everything it owns on context exit,
   on exception, and idempotently;
 * a worker crashing mid-cell (SIGKILL) surfaces as
-  ``BrokenProcessPool`` and still leaves ``/dev/shm`` clean.
+  ``WorkerCrashError`` and still leaves ``/dev/shm`` clean;
+* under every seeded :class:`FaultPlan` (crash, crash-forever, hang)
+  ``run_store_cells`` recovers or degrades to serial with results
+  identical to a clean run — and never leaks a segment.
 """
 
 from __future__ import annotations
@@ -18,7 +21,15 @@ from array import array
 
 import pytest
 
-from repro.experiments.parallel import fork_available, run_store_cells
+from repro.align import AlignConfig
+from repro.exceptions import WorkerCrashError
+from repro.experiments.cells import edge_ratio_cell
+from repro.experiments.parallel import (
+    SharedStorePool,
+    fork_available,
+    run_store_cells,
+)
+from repro.robustness import FaultPlan, FaultSpec, inject
 from repro.experiments.shm import (
     ShmRegistry,
     attach_bytes,
@@ -156,16 +167,92 @@ def _crash_cell(store, config, item):
     os.kill(os.getpid(), signal.SIGKILL)
 
 
+def _fault_store() -> VersionStore:
+    store = VersionStore(SyntheticGenerator.shared(SCENARIOS["small_er"]))
+    store.prepare(summaries=True, tokens=("trivial", "deblank"), csr=True)
+    return store
+
+
 @needs_fork
 class TestWorkerCrash:
-    def test_killed_worker_leaks_no_segments(self):
-        from concurrent.futures.process import BrokenProcessPool
+    def test_killed_worker_raises_and_leaks_no_segments(self):
+        # The raw pool (no retry budget) surfaces a SIGKILLed worker as
+        # WorkerCrashError and still leaves /dev/shm clean.
+        store = _fault_store()
+        with pytest.raises(WorkerCrashError):
+            with SharedStorePool(store, jobs=2, context="fork") as pool:
+                pool.map(_crash_cell, [(0, 1), (1, 2)])
+        assert list_segments() == []
 
-        store = VersionStore(SyntheticGenerator.shared(SCENARIOS["small_er"]))
-        store.prepare(summaries=True, tokens=("trivial", "deblank"))
-        with pytest.raises(BrokenProcessPool):
-            run_store_cells(
-                store, _crash_cell, [(0, 1), (1, 2)],
+
+@needs_fork
+class TestFaultPlanLeaks:
+    """No leaked segments under every FaultPlan, and recovery is exact."""
+
+    PAIRS = [(0, 1), (1, 2)]
+
+    def _clean(self, store):
+        return run_store_cells(store, edge_ratio_cell, self.PAIRS, jobs=1)
+
+    def _run(self, store, plan, config, events):
+        with inject(plan):
+            return run_store_cells(
+                store, edge_ratio_cell, self.PAIRS,
                 jobs=2, context="fork", force=True,
+                config=config, events=events,
             )
+
+    def test_sigkill_once_recovers(self):
+        store = _fault_store()
+        clean = self._clean(store)
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="worker.cell", kind="sigkill",
+                    index=0, attempts=(0,), times=1,
+                ),
+            ),
+            name="sigkill-once",
+        )
+        events: list = []
+        config = AlignConfig(retries=2)
+        assert self._run(store, plan, config, events) == clean
+        assert events == []  # the retry absorbed the crash
+        assert list_segments() == []
+
+    def test_sigkill_exhausted_degrades_to_serial(self):
+        store = _fault_store()
+        clean = self._clean(store)
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="worker.cell", kind="sigkill",
+                    index=0, attempts=None, times=None,
+                ),
+            ),
+            name="sigkill-forever",
+        )
+        events: list = []
+        config = AlignConfig(retries=1)
+        assert self._run(store, plan, config, events) == clean
+        assert len(events) == 1
+        assert events[0].reason == "worker-crash"
+        assert list_segments() == []
+
+    def test_hung_cell_times_out_and_recovers(self):
+        store = _fault_store()
+        clean = self._clean(store)
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="worker.cell", kind="hang", seconds=30.0,
+                    index=0, attempts=(0,), times=1,
+                ),
+            ),
+            name="hang-once",
+        )
+        events: list = []
+        config = AlignConfig(retries=2, cell_timeout=1.5)
+        assert self._run(store, plan, config, events) == clean
+        assert events == []
         assert list_segments() == []
