@@ -175,7 +175,7 @@ class AlignConfig:
             )
 
     # ------------------------------------------------------------------
-    def evolve(self, **changes) -> "AlignConfig":
+    def evolve(self, **changes: object) -> "AlignConfig":
         """A new config with *changes* applied (and re-validated).
 
         >>> AlignConfig().evolve(method="overlap", theta=0.5).theta

@@ -25,7 +25,9 @@ from ..core.trivial import trivial_partition
 from ..model.csr import CSRGraph
 from ..model.union import CombinedGraph
 from ..partition.alignment import PartitionAlignment
+from ..partition.coloring import Partition
 from ..partition.interner import ColorInterner
+from ..partition.weighted import WeightedPartition
 from ..similarity.overlap_alignment import OverlapTrace, overlap_partition
 from .registry import MethodSpec, register_method
 from .results import AlignmentResult, BaselineResult, PairAlignment
@@ -50,7 +52,7 @@ class MethodContext:
 
 def run_method(
     graph: CombinedGraph, config: "AlignConfig", context: MethodContext | None = None
-):
+) -> AlignmentResult | BaselineResult:
     """Dispatch *config.method* through the registry on a combined graph."""
     from .registry import get_method
 
@@ -63,11 +65,11 @@ def run_method(
 def _partition_result(
     method: str,
     graph: CombinedGraph,
-    partition,
+    partition: Partition,
     interner: ColorInterner,
     config: "AlignConfig",
-    weighted=None,
-    trace=None,
+    weighted: WeightedPartition | None = None,
+    trace: OverlapTrace | None = None,
 ) -> AlignmentResult:
     return AlignmentResult(
         method=method,
@@ -81,13 +83,17 @@ def _partition_result(
     )
 
 
-def _trivial_runner(graph, config, context):
+def _trivial_runner(
+    graph: CombinedGraph, config: "AlignConfig", context: MethodContext
+) -> AlignmentResult:
     interner = ColorInterner()
     partition = trivial_partition(graph, interner, engine=config.engine)
     return _partition_result("trivial", graph, partition, interner, config)
 
 
-def _deblank_runner(graph, config, context):
+def _deblank_runner(
+    graph: CombinedGraph, config: "AlignConfig", context: MethodContext
+) -> AlignmentResult:
     interner = ColorInterner()
     partition = deblank_partition(
         graph, interner, engine=config.engine,
@@ -96,7 +102,9 @@ def _deblank_runner(graph, config, context):
     return _partition_result("deblank", graph, partition, interner, config)
 
 
-def _hybrid_runner(graph, config, context):
+def _hybrid_runner(
+    graph: CombinedGraph, config: "AlignConfig", context: MethodContext
+) -> AlignmentResult:
     interner = ColorInterner()
     partition = hybrid_partition(
         graph, interner, engine=config.engine, csr=context.csr
@@ -104,7 +112,9 @@ def _hybrid_runner(graph, config, context):
     return _partition_result("hybrid", graph, partition, interner, config)
 
 
-def _overlap_runner(graph, config, context):
+def _overlap_runner(
+    graph: CombinedGraph, config: "AlignConfig", context: MethodContext
+) -> AlignmentResult:
     interner = ColorInterner()
     trace = OverlapTrace()
     weighted = overlap_partition(
@@ -129,7 +139,9 @@ def _overlap_runner(graph, config, context):
 # ----------------------------------------------------------------------
 # Related-work baselines (PAPERS.md: Melnik et al. [12], Tzitzikas et al. [17])
 # ----------------------------------------------------------------------
-def _similarity_flooding_runner(graph, config, context):
+def _similarity_flooding_runner(
+    graph: CombinedGraph, config: "AlignConfig", context: MethodContext
+) -> BaselineResult:
     flooding = similarity_flooding(graph)
     pairs = flooding.mutual_best_matches()
     return BaselineResult(
@@ -141,7 +153,9 @@ def _similarity_flooding_runner(graph, config, context):
     )
 
 
-def _label_invention_runner(graph, config, context):
+def _label_invention_runner(
+    graph: CombinedGraph, config: "AlignConfig", context: MethodContext
+) -> BaselineResult:
     pairs = label_invention_alignment(graph)
     return BaselineResult(
         method="label_invention",

@@ -27,7 +27,9 @@ from typing import TYPE_CHECKING
 from ..exceptions import ReportError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..model.graph import NodeId
     from .config import AlignConfig
+    from .results import AlignmentResult, BaselineResult
 
 #: Schema identity of the JSON payload.
 SCHEMA = "repro/alignment-report"
@@ -74,7 +76,11 @@ class AlignmentReport:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_result(cls, result, config: "AlignConfig | None" = None) -> "AlignmentReport":
+    def from_result(
+        cls,
+        result: "AlignmentResult | BaselineResult",
+        config: "AlignConfig | None" = None,
+    ) -> "AlignmentReport":
         """Build a report from any method result (partition or baseline).
 
         *config*, when given, records the run parameters (theta, probe,
@@ -83,7 +89,7 @@ class AlignmentReport:
         graph = result.graph
         alignment = result.alignment
 
-        def render(node) -> str:
+        def render(node: "NodeId") -> str:
             return repr(graph.original(node))
 
         pairs = tuple(
@@ -232,8 +238,9 @@ class AlignmentReport:
         return cls.from_dict(payload)
 
     def save(self, path: str | os.PathLike) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json() + "\n")
+        from ..io.atomic import atomic_write_text
+
+        atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "AlignmentReport":

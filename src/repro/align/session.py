@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from ..model.csr import CSRGraph
 from ..model.graph import TripleGraph
@@ -42,6 +42,10 @@ from .config import AlignConfig
 from .methods import MethodContext, run_method
 from .registry import get_method
 from .report import AlignmentReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.store import BlankSummary
+    from .results import AlignmentResult, BaselineResult
 
 #: Anything :class:`Aligner` accepts as one side of an alignment.
 GraphLike = "TripleGraph | str | os.PathLike"
@@ -73,7 +77,7 @@ class Aligner:
     #: eviction only costs re-splitting).
     SPLIT_CACHE_SIZE = 1 << 16
 
-    def __init__(self, config: AlignConfig | None = None, **overrides) -> None:
+    def __init__(self, config: AlignConfig | None = None, **overrides: object) -> None:
         if config is None:
             config = AlignConfig()
         if overrides:
@@ -90,7 +94,7 @@ class Aligner:
     # ------------------------------------------------------------------
     # Config composition
     # ------------------------------------------------------------------
-    def evolve(self, **changes) -> "Aligner":
+    def evolve(self, **changes: object) -> "Aligner":
         """A sibling session with *changes* applied to the config.
 
         The new session shares this one's caches (they are config-
@@ -106,7 +110,9 @@ class Aligner:
     # ------------------------------------------------------------------
     # Alignment entry points
     # ------------------------------------------------------------------
-    def align(self, source: GraphLike, target: GraphLike):
+    def align(
+        self, source: GraphLike, target: GraphLike
+    ) -> "AlignmentResult | BaselineResult":
         """Align two versions (graphs or file paths).
 
         Returns an :class:`~repro.align.results.AlignmentResult` for the
@@ -220,7 +226,14 @@ class Aligner:
             for i in range(len(graphs) - 1)
         ]
 
-    def _run_composed(self, source, target, source_summary, target_summary, joint):
+    def _run_composed(
+        self,
+        source: TripleGraph,
+        target: TripleGraph,
+        source_summary: "BlankSummary",
+        target_summary: "BlankSummary",
+        joint: tuple[list[int], list[int]],
+    ) -> "AlignmentResult | BaselineResult":
         """One pair's alignment on top of a composed deblanking base."""
         from ..core.hybrid import hybrid_partition
         from ..experiments.store import compose_deblank_partition
@@ -335,7 +348,9 @@ class Aligner:
 
         return cached
 
-    def _run(self, source: TripleGraph, target: TripleGraph):
+    def _run(
+        self, source: TripleGraph, target: TripleGraph
+    ) -> "AlignmentResult | BaselineResult":
         spec = get_method(self.config.method)
         graph = CombinedGraph(source, target)
         csr = None

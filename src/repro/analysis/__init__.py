@@ -1,0 +1,46 @@
+"""`reprolint`: static analysis for the repro tree's hard-won invariants.
+
+A pluggable checker framework over Python's :mod:`ast` (no imports of
+the checked code are executed) with a rule registry, per-line and
+per-file suppressions, a committed shrinking baseline, JSON and human
+output, and two entry points — ``rdf-align lint`` and ``python -m
+repro.analysis``.  The built-in rules encode what PRs 3-8 enforce
+dynamically (determinism, pool-boundary picklability, shm lifecycle,
+exception taxonomy, atomic writes, the strict-typing gate) so a
+violating diff fails in milliseconds instead of minutes into the
+oracle matrix.  Catalog and policy: ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from .framework import (
+    AnalysisResult,
+    Checker,
+    Finding,
+    ModuleInfo,
+    parse_module,
+    register_checker,
+    registered_rules,
+    run_analysis,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "Checker",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "ModuleInfo",
+    "apply_baseline",
+    "load_baseline",
+    "parse_module",
+    "register_checker",
+    "registered_rules",
+    "run_analysis",
+    "save_baseline",
+]

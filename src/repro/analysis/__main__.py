@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — the standalone `reprolint` entry."""
+
+from __future__ import annotations
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

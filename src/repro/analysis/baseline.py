@@ -1,0 +1,112 @@
+"""Committed baseline of grandfathered `reprolint` findings.
+
+The baseline is the ratchet that lets a new rule land while old
+violations still exist: findings whose fingerprint appears in the
+committed baseline file do not fail the run, *new* findings always do,
+and entries whose violation has been fixed are reported as **stale** so
+the file only ever shrinks (``--update-baseline`` rewrites it to the
+current state; CI fails if it could shrink but was not shrunk — see
+``docs/static_analysis.md`` for the policy).
+
+Fingerprints hash ``(rule, path, source line content, occurrence)``
+rather than line numbers (see :meth:`Finding.fingerprint`), so editing
+unrelated parts of a file neither masks a grandfathered finding nor
+spuriously invalidates it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from ..exceptions import ReproError
+from .framework import Finding
+
+BASELINE_SCHEMA = "repro/reprolint-baseline"
+BASELINE_VERSION = 1
+
+#: Repo-relative path of the committed baseline file.
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+
+@dataclass
+class BaselineDecision:
+    """How one run's findings split against the baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale: list[dict[str, object]] = field(default_factory=list)
+
+
+def load_baseline(path: str | os.PathLike[str]) -> dict[str, dict[str, object]]:
+    """``fingerprint -> entry`` from the committed baseline file.
+
+    A missing file is an empty baseline; a malformed one is an error
+    (a corrupt baseline must never silently admit findings).
+    """
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"baseline {os.fspath(path)!r} is not JSON: {error}") from None
+    if not isinstance(payload, dict) or payload.get("schema") != BASELINE_SCHEMA:
+        raise ReproError(
+            f"baseline {os.fspath(path)!r} does not carry schema {BASELINE_SCHEMA!r}"
+        )
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ReproError(
+            f"baseline {os.fspath(path)!r} has version {version!r}; "
+            f"this build reads version {BASELINE_VERSION}"
+        )
+    findings = payload.get("findings")
+    if not isinstance(findings, dict):
+        raise ReproError(f"baseline {os.fspath(path)!r} has no findings table")
+    return dict(findings)
+
+
+def save_baseline(
+    path: str | os.PathLike[str], findings: list[Finding]
+) -> None:
+    """Write the baseline for *findings* (atomic, deterministic bytes)."""
+    from ..io.atomic import atomic_write_text
+
+    table = {
+        finding.fingerprint(): {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+        }
+        for finding in findings
+    }
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "version": BASELINE_VERSION,
+        "findings": dict(sorted(table.items())),
+    }
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: dict[str, dict[str, object]]
+) -> BaselineDecision:
+    """Split *findings* into new vs. grandfathered, and report stale entries."""
+    decision = BaselineDecision()
+    matched: set[str] = set()
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if fingerprint in baseline:
+            matched.add(fingerprint)
+            decision.baselined.append(finding)
+        else:
+            decision.new.append(finding)
+    for fingerprint, entry in sorted(baseline.items()):
+        if fingerprint not in matched:
+            stale = dict(entry)
+            stale["fingerprint"] = fingerprint
+            decision.stale.append(stale)
+    return decision

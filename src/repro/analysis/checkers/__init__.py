@@ -1,0 +1,17 @@
+"""Built-in `reprolint` rules (importing this package registers them).
+
+One module per invariant family; see ``docs/static_analysis.md`` for
+the catalog, the invariant each rule protects, and the PR that bled for
+it.
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (imported for their registration side effect)
+    atomic_write,
+    determinism,
+    exception_taxonomy,
+    pool_boundary,
+    shm_lifecycle,
+    typing_gate,
+)

@@ -1,0 +1,71 @@
+"""Atomic-write discipline: no torn artifacts, anywhere.
+
+PR 8's chaos job proved the failure mode: a process killed mid-write
+leaves a truncated manifest/report behind a valid-looking path, and the
+next reader fails (or worse, half-succeeds) far from the cause.  The
+fix — temp file + fsync + ``os.replace`` + directory fsync — lives in
+exactly one place, :mod:`repro.io.atomic`; this rule forbids every
+other write-mode ``open()`` in ``src/repro`` so store blocks,
+manifests, reports, figure renderings and bench logs all inherit the
+crash-safety guarantee by construction.  Appends cannot be atomic:
+read-modify-rewrite through the helper instead (see
+:mod:`repro.benchlog`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import Checker, Finding, ModuleInfo, register_checker
+
+#: The one module allowed to open files for writing.
+_BLESSED_MODULE = "io/atomic.py"
+
+_WRITE_MODES = set("wax")
+
+
+def _write_mode(call: ast.Call) -> str | None:
+    """The mode string of an ``open`` call, if it writes."""
+    mode_node: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        if _WRITE_MODES & set(mode_node.value):
+            return mode_node.value
+    return None
+
+
+@register_checker
+class AtomicWriteChecker(Checker):
+    rule = "non-atomic-write"
+    description = (
+        "all file writes go through repro.io.atomic (temp + fsync + "
+        "rename); a crash mid-write must never leave a torn artifact"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return not path.endswith(_BLESSED_MODULE)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "open"
+            ):
+                continue
+            mode = _write_mode(node)
+            if mode is None:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"open(..., {mode!r}) writes in place; use "
+                "repro.io.atomic (atomic_write_text/bytes or "
+                "atomic_open) so a crash mid-write cannot leave a "
+                "truncated artifact",
+            )

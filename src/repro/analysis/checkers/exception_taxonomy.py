@@ -1,0 +1,138 @@
+"""Exception-taxonomy rules: failures stay typed, I/O stays retried.
+
+PR 8's recovery machinery dispatches on exception *type*: transient
+failures (:class:`~repro.exceptions.TransientError` + ``OSError``) are
+retried, :class:`~repro.exceptions.WorkerCrashError` re-runs lost
+cells, :class:`~repro.exceptions.CorruptStoreError` quarantines.  A
+``except:`` or ``except Exception`` anywhere in the library erases
+exactly the type information that machinery keys on — and hides
+``KeyboardInterrupt``-adjacent control flow besides.  Deliberate
+catch-alls (the differential oracle must convert *any* crash into a
+reportable divergence) carry a line suppression; everything else
+narrows to the taxonomy.
+
+``raw-io`` scopes tighter: inside the persistence backend, file reads
+go through the retry/fault-injection helper (``_read_file`` →
+``call_with_retry``) so transient I/O and seeded faults behave
+identically — a direct ``open()`` on a store path silently opts out of
+both.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import Checker, Finding, ModuleInfo, register_checker
+from ._util import enclosing_function, walk_with_parents
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _broad_names(node: ast.expr | None) -> list[str]:
+    """Broad exception names mentioned by an ``except`` clause type."""
+    if node is None:
+        return []
+    names: list[str] = []
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    for element in elements:
+        if isinstance(element, ast.Name) and element.id in _BROAD:
+            names.append(element.id)
+    return names
+
+
+@register_checker
+class BareExceptChecker(Checker):
+    rule = "bare-except"
+    description = "no `except:` clauses — name the failure you expect"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare `except:` swallows KeyboardInterrupt and erases "
+                    "the failure type the recovery machinery dispatches "
+                    "on; catch the ReproError taxonomy instead",
+                )
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Does the handler unconditionally end in a bare ``raise``?"""
+    return bool(handler.body) and (
+        isinstance(handler.body[-1], ast.Raise)
+        and handler.body[-1].exc is None
+    )
+
+
+@register_checker
+class BroadExceptChecker(Checker):
+    rule = "broad-except"
+    description = (
+        "no `except Exception`/`BaseException` in library code — narrow "
+        "to the AlignError/TransientError taxonomy (deliberate oracle "
+        "catch-alls carry a suppression)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _reraises(node):
+                # Cleanup-and-reraise (`except BaseException: undo();
+                # raise`) swallows nothing — the type information
+                # survives untouched.
+                continue
+            for name in _broad_names(node.type):
+                yield self.finding(
+                    module,
+                    node,
+                    f"`except {name}` erases the typed failure contract "
+                    "(TransientError is retried, WorkerCrashError "
+                    "re-runs cells, CorruptStoreError quarantines); "
+                    "catch the specific types",
+                )
+
+
+#: Modules whose file reads must ride the retry/fault-injection path.
+_PERSIST_MODULES = ("experiments/persist.py", "experiments/store.py")
+
+#: Functions allowed to touch files directly inside those modules: the
+#: retry-wrapped reader itself, the atomic writer, and the manifest
+#: bootstrap (which runs before any retry policy exists).
+_ALLOWED_IO_HELPERS = {"_read_file", "_atomic_write", "_load_manifest", "read"}
+
+
+@register_checker
+class RawIOChecker(Checker):
+    rule = "raw-io"
+    description = (
+        "persistence-backend file access goes through the retrying "
+        "fault-injectable helpers (_read_file/call_with_retry), not "
+        "direct open()"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return any(path.endswith(suffix) for suffix in _PERSIST_MODULES)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in walk_with_parents(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "open"
+            ):
+                continue
+            function = enclosing_function(node)
+            name = getattr(function, "name", "")
+            if name in _ALLOWED_IO_HELPERS:
+                continue
+            yield self.finding(
+                module,
+                node,
+                "direct open() in the persistence backend bypasses the "
+                "retry + fault-injection read path; go through "
+                "_read_file/call_with_retry (or suppress where raw bytes "
+                "are the point, e.g. corruption scans)",
+            )

@@ -1,0 +1,82 @@
+"""Strict-typing gate: full signature annotations on the strict set.
+
+The mypy ratchet in ``pyproject.toml`` runs ``--strict`` over the
+modules listed there — but mypy is a CI-side dependency, and a diff
+should not need a network round-trip to learn it dropped an
+annotation.  This rule enforces the *load-bearing prefix* of strict
+mode locally and in milliseconds: every function in a strict-listed
+module must annotate its return type and every parameter (``self``/
+``cls`` excepted).  Fully-annotated signatures are exactly what makes
+``disallow_untyped_defs``/``disallow_incomplete_defs`` pass and stops
+mypy's implicit-``Any`` leak at module boundaries; the body-level
+checks remain mypy's job in the CI ``static-analysis`` job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import Checker, Finding, ModuleInfo, register_checker
+
+#: Path prefixes held to the strict gate (mirrors the mypy ratchet
+#: table in pyproject.toml — keep the two lists in sync).
+STRICT_PREFIXES = (
+    "src/repro/core/",
+    "src/repro/model/",
+    "src/repro/align/",
+    "src/repro/robustness/",
+    "src/repro/analysis/",
+    "src/repro/io/atomic.py",
+    "src/repro/exceptions.py",
+    "src/repro/benchlog.py",
+)
+
+
+@register_checker
+class AnnotationsChecker(Checker):
+    rule = "missing-annotations"
+    description = (
+        "strict-listed modules fully annotate every function signature "
+        "(the local, instant prefix of the CI mypy --strict gate)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return any(
+            path.startswith(prefix) or path.endswith(prefix)
+            for prefix in STRICT_PREFIXES
+        )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            missing: list[str] = []
+            arguments = node.args
+            positional = arguments.posonlyargs + arguments.args
+            for offset, argument in enumerate(positional):
+                if offset == 0 and argument.arg in ("self", "cls"):
+                    continue
+                if argument.annotation is None:
+                    missing.append(argument.arg)
+            for argument in arguments.kwonlyargs:
+                if argument.annotation is None:
+                    missing.append(argument.arg)
+            for star in (arguments.vararg, arguments.kwarg):
+                if star is not None and star.annotation is None:
+                    missing.append(star.arg)
+            needs_return = node.returns is None and node.name != "__init__"
+            if not missing and not needs_return:
+                continue
+            parts: list[str] = []
+            if missing:
+                parts.append(f"unannotated parameter(s) {', '.join(missing)}")
+            if needs_return:
+                parts.append("no return annotation")
+            yield self.finding(
+                module,
+                node,
+                f"def {node.name}: " + " and ".join(parts) + " — strict "
+                "modules must carry full signatures (mypy --strict "
+                "ratchet)",
+            )

@@ -1,0 +1,327 @@
+"""`reprolint` core: findings, checkers, suppressions, and the runner.
+
+The dynamic verification layers built up by PRs 3-8 — the differential
+oracle, the chaos job, the byte-identity benches — all catch invariant
+violations *after* the code has run, minutes into a CI matrix.  This
+package is the static half of that contract: a small framework over
+Python's :mod:`ast` that encodes the same invariants as syntactic rules
+and checks the whole tree in well under a second, so a diff that breaks
+determinism or leaks a shared-memory segment fails before any oracle is
+scheduled.
+
+Architecture (mirrors the method registry of :mod:`repro.align`):
+
+* :class:`Finding` — one rule violation at one source location, with a
+  line-content fingerprint that survives unrelated line drift (the unit
+  of the committed baseline, see :mod:`repro.analysis.baseline`).
+* :class:`Checker` — one rule.  Subclasses declare ``rule`` and
+  ``description``, implement :meth:`Checker.check` over a parsed
+  :class:`ModuleInfo`, and register themselves with
+  :func:`register_checker`; the CLI and the test suite discover rules
+  only through the registry.
+* suppressions — ``# reprolint: disable=<rule>[,<rule>...]`` on the
+  offending line silences that line; ``# reprolint:
+  disable-file=<rule>`` anywhere in a module silences the whole file.
+  ``all`` is accepted as a rule name in both forms.  Suppressions are
+  for *deliberate* exceptions (an oracle that must catch everything, the
+  one module allowed to own raw segments); accidental violations are
+  fixed, grandfathered ones go in the baseline.
+
+Checkers are pure functions of the parsed module: no imports are
+executed, so linting hostile or broken code is safe, and the whole run
+is deterministic (files and findings are sorted).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import re
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator, Sequence
+
+#: Rule name accepted by suppressions to mean "every rule".
+ALL_RULES = "all"
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\- ]+)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``snippet`` is the stripped source line the finding points at; the
+    baseline keys on ``(rule, path, snippet, occurrence)`` rather than
+    the line *number*, so unrelated edits above a grandfathered finding
+    do not invalidate the baseline entry.  ``occurrence`` disambiguates
+    identical snippets within one file (0-based, in line order).
+    """
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    snippet: str = ""
+    occurrence: int = 0
+
+    def fingerprint(self) -> str:
+        """Stable identity of this finding for baseline matching."""
+        payload = f"{self.rule}|{self.path}|{self.snippet}|{self.occurrence}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        """The human one-liner: ``path:line:col: rule: message``."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source module, as seen by every checker.
+
+    ``path`` is repository-relative with forward slashes (the stable
+    spelling used in findings, baselines and suppress policies);
+    ``tree`` is the parsed AST; ``lines`` the raw source lines (1-based
+    access via :meth:`line`).
+    """
+
+    path: str
+    text: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+    line_suppressions: dict[int, frozenset[str]]
+    file_suppressions: frozenset[str]
+
+    def line(self, number: int) -> str:
+        """The stripped source text of 1-based line *number*."""
+        if 1 <= number <= len(self.lines):
+            return self.lines[number - 1].strip()
+        return ""
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Is *rule* silenced at *line* (line or file scope)?"""
+        for scope in (self.file_suppressions, self.line_suppressions.get(line, frozenset())):
+            if rule in scope or ALL_RULES in scope:
+                return True
+        return False
+
+
+def _parse_suppressions(
+    lines: Sequence[str],
+) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
+    per_line: dict[int, frozenset[str]] = {}
+    per_file: set[str] = set()
+    for number, text in enumerate(lines, start=1):
+        if "reprolint" not in text:
+            continue
+        match = _SUPPRESSION_RE.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            rule.strip() for rule in match.group("rules").split(",") if rule.strip()
+        )
+        if match.group("scope") == "disable-file":
+            per_file |= rules
+        else:
+            per_line[number] = per_line.get(number, frozenset()) | rules
+    return per_line, frozenset(per_file)
+
+
+def parse_module(path: str, text: str) -> ModuleInfo:
+    """Parse *text* into the :class:`ModuleInfo` every checker consumes.
+
+    Raises :class:`SyntaxError` on unparseable source — the runner
+    converts that into a ``syntax-error`` finding so a broken file fails
+    the lint rather than silently skipping every rule.
+    """
+    tree = ast.parse(text, filename=path)
+    lines = tuple(text.splitlines())
+    line_suppressions, file_suppressions = _parse_suppressions(lines)
+    return ModuleInfo(
+        path=path,
+        text=text,
+        tree=tree,
+        lines=lines,
+        line_suppressions=line_suppressions,
+        file_suppressions=file_suppressions,
+    )
+
+
+class Checker:
+    """Base class of one `reprolint` rule.
+
+    Subclasses set ``rule`` (the kebab-case identifier used by the CLI,
+    suppressions and the baseline), ``description`` (one line for
+    ``--list-rules`` and the docs), and implement :meth:`check`.
+    ``applies_to`` scopes a rule to part of the tree (e.g. the strict
+    typing gate only covers the strict module list).
+    """
+
+    rule: str = ""
+    description: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def finding(
+        self, module: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        """A :class:`Finding` for *node*, snippeted from its source line."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.rule,
+            path=module.path,
+            line=line,
+            column=column,
+            message=message,
+            snippet=module.line(line),
+        )
+
+
+_REGISTRY: dict[str, type[Checker]] = {}
+
+
+def register_checker(cls: type[Checker]) -> type[Checker]:
+    """Class decorator: add a :class:`Checker` subclass to the registry."""
+    if not cls.rule:
+        raise ValueError(f"{cls.__name__} does not declare a rule name")
+    if cls.rule in _REGISTRY and _REGISTRY[cls.rule] is not cls:
+        raise ValueError(f"rule {cls.rule!r} is already registered")
+    _REGISTRY[cls.rule] = cls
+    return cls
+
+
+def registered_rules() -> dict[str, type[Checker]]:
+    """``rule name -> checker class``, sorted by rule name."""
+    _ensure_builtin_checkers()
+    return dict(sorted(_REGISTRY.items()))
+
+
+def _ensure_builtin_checkers() -> None:
+    # Importing the checkers package registers every built-in rule; done
+    # lazily so framework-level tests can run against a bare registry.
+    from . import checkers  # noqa: F401
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+@dataclass
+class AnalysisResult:
+    """Everything one lint run produced.
+
+    ``findings`` are post-suppression; baseline bookkeeping happens one
+    layer up (:func:`repro.analysis.baseline.apply_baseline`) so the
+    result object stays a pure function of the tree.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    rules: tuple[str, ...] = ()
+
+    def by_rule(self) -> dict[str, list[Finding]]:
+        grouped: dict[str, list[Finding]] = {}
+        for finding in self.findings:
+            grouped.setdefault(finding.rule, []).append(finding)
+        return grouped
+
+
+def iter_python_files(root: str, targets: Sequence[str]) -> Iterator[str]:
+    """Repo-relative paths of every ``.py`` file under *targets*, sorted."""
+    seen: set[str] = set()
+    for target in targets:
+        absolute = os.path.join(root, target)
+        if os.path.isfile(absolute):
+            seen.add(os.path.relpath(absolute, root).replace(os.sep, "/"))
+            continue
+        for directory, _subdirs, files in os.walk(absolute):
+            for name in files:
+                if name.endswith(".py"):
+                    path = os.path.join(directory, name)
+                    seen.add(os.path.relpath(path, root).replace(os.sep, "/"))
+    return iter(sorted(seen))
+
+
+def _assign_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Number findings that share (rule, path, snippet), in line order."""
+    counters: dict[tuple[str, str, str], int] = {}
+    numbered: list[Finding] = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.column, f.rule)):
+        key = (finding.rule, finding.path, finding.snippet)
+        occurrence = counters.get(key, 0)
+        counters[key] = occurrence + 1
+        numbered.append(replace(finding, occurrence=occurrence))
+    return numbered
+
+
+def run_analysis(
+    root: str,
+    targets: Sequence[str],
+    rules: Sequence[str] | None = None,
+    reader: Callable[[str], str] | None = None,
+) -> AnalysisResult:
+    """Run the selected *rules* over every Python file under *targets*.
+
+    *root* anchors the repo-relative paths findings are reported with;
+    *reader* exists for tests (maps absolute path to source text).
+    Unparseable files produce a ``syntax-error`` finding instead of
+    aborting the run.
+    """
+    registry = registered_rules()
+    if rules is not None:
+        unknown = sorted(set(rules) - set(registry))
+        if unknown:
+            raise ValueError(f"unknown rule(s): {', '.join(unknown)}")
+        registry = {rule: registry[rule] for rule in rules}
+    checkers = [cls() for cls in registry.values()]
+    read = reader or _read_text
+    result = AnalysisResult(rules=tuple(registry))
+    raw: list[Finding] = []
+    for path in iter_python_files(root, targets):
+        result.files_checked += 1
+        try:
+            module = parse_module(path, read(os.path.join(root, path)))
+        except SyntaxError as error:
+            raw.append(Finding(
+                rule="syntax-error",
+                path=path,
+                line=error.lineno or 1,
+                column=(error.offset or 1) - 1,
+                message=f"file does not parse: {error.msg}",
+            ))
+            continue
+        for checker in checkers:
+            if not checker.applies_to(path):
+                continue
+            for finding in checker.check(module):
+                if module.suppressed(finding.rule, finding.line):
+                    result.suppressed += 1
+                else:
+                    raw.append(finding)
+    result.findings = _assign_occurrences(raw)
+    return result
+
+
+def _read_text(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()

@@ -5,15 +5,18 @@ Dependency-free on purpose: both the benchmark harness
 oracle's CI entry point (:mod:`repro.testing.differential`) append to
 the same performance-trajectory file, and a timing side channel must
 never be able to crash the session producing it — so this module
-imports nothing but the standard library, and the append treats every
-form of bad state (missing file, corrupt JSON, wrong shape, directory
-squatting on the path, unwritable target) as recoverable.
+imports nothing but the standard library (plus the equally
+dependency-free :mod:`repro.io.atomic` writer), and the append treats
+every form of bad state (missing file, corrupt JSON, wrong shape,
+directory squatting on the path, unwritable target) as recoverable.
 """
 
 from __future__ import annotations
 
 import json
 import os
+
+from .io.atomic import atomic_write_text
 
 
 def append_bench_entry(
@@ -60,8 +63,9 @@ def append_bench_entry(
         parent = os.path.dirname(os.fspath(path))
         if parent:
             os.makedirs(parent, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(entries, indent=2) + "\n")
+        # Atomic rewrite (temp + fsync + rename): a run killed mid-append
+        # must never truncate the whole performance trajectory.
+        atomic_write_text(path, json.dumps(entries, indent=2) + "\n")
     except OSError:
         return False
     return True

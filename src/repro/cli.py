@@ -22,6 +22,10 @@ Subcommands
     summarize it (``load``), list an archive's keys (``ls``), or
     recompute its checksums (``verify``, with ``--quarantine`` to
     isolate corrupt blocks for rebuild-from-source).
+``lint``
+    Run the reprolint static-analysis checks
+    (:mod:`repro.analysis`) over the source tree; all flags are
+    forwarded to ``python -m repro.analysis``.
 
 Every alignment flag is collected into one
 :class:`~repro.align.config.AlignConfig` and handed to the session API —
@@ -42,6 +46,7 @@ from .align import AlignConfig, Aligner, method_names, method_order
 from .align.config import PROBE_RULES, SPLITTERS
 from .datasets.synthetic import SHAPES, SyntheticConfig, SyntheticGenerator
 from .exceptions import ReproError
+from .io.atomic import atomic_write_text
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -258,6 +263,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "from the manifest so the next load rebuilds them from the "
         "version graphs",
     )
+
+    lint_cmd = commands.add_parser(
+        "lint",
+        add_help=False,
+        help="run the reprolint static-analysis checks on the source tree "
+        "(all flags forwarded; see `rdf-align lint --help`)",
+    )
+    lint_cmd.add_argument("lint_args", nargs=argparse.REMAINDER)
     return parser
 
 
@@ -303,8 +316,7 @@ def _command_align(args: argparse.Namespace) -> int:
     if args.pairs or args.output:
         text = "\n".join(pair_lines) + ("\n" if pair_lines else "")
         if args.output:
-            with open(args.output, "w", encoding="utf-8") as handle:
-                handle.write(text)
+            atomic_write_text(args.output, text)
             print(f"wrote {len(pair_lines)} pairs to {args.output}")
         else:
             sys.stdout.write(text)
@@ -313,9 +325,9 @@ def _command_align(args: argparse.Namespace) -> int:
             import json
 
             payload = [result.report(config).to_dict() for result in results]
-            with open(args.report, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2, sort_keys=True)
-                handle.write("\n")
+            atomic_write_text(
+                args.report, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
         else:
             results[0].report(config).save(args.report)
         print(f"wrote report to {args.report}")
@@ -426,8 +438,9 @@ def _command_synth(args: argparse.Namespace) -> int:
         ],
     }
     manifest_path = os.path.join(args.out, "manifest.json")
-    with open(manifest_path, "w", encoding="utf-8") as handle:
-        handle.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(
+        manifest_path, json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
     for row, name in zip(manifest["stats"], files):
         print(
             f"wrote {os.path.join(args.out, name)} "
@@ -444,10 +457,9 @@ def _command_synth(args: argparse.Namespace) -> int:
             for divergence in report.divergences:
                 print("  " + divergence.render())
             artifact = os.path.join(args.out, "differential-failure.json")
-            with open(artifact, "w", encoding="utf-8") as handle:
-                handle.write(
-                    json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
-                )
+            atomic_write_text(
+                artifact, json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+            )
             print(f"differential artifact written to {artifact}")
             return 1
     return 0
@@ -547,6 +559,12 @@ def _command_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from .analysis.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 _COMMANDS = {
     "align": _command_align,
     "delta": _command_delta,
@@ -555,12 +573,21 @@ _COMMANDS = {
     "synth": _command_synth,
     "experiment": _command_experiment,
     "store": _command_store,
+    "lint": _command_lint,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        # Forwarded before parsing: argparse.REMAINDER refuses to
+        # capture a leading option (`rdf-align lint --json`), so the
+        # lint flags never pass through _build_parser at all.
+        from .analysis.cli import main as lint_main
+
+        return lint_main(arguments[1:])
     parser = _build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     try:
         return _COMMANDS[args.command](args)
     except KeyboardInterrupt:

@@ -29,6 +29,8 @@ over the same CSR edge order.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ..model.csr import CSRGraph
 from ..oplus import OplusOperator, oplus
 from .refinement import WeightFixpointStats, _warn_weight_truncated
@@ -98,8 +100,11 @@ def _finish(
         _warn_weight_truncated(stats, max_rounds)
 
 
-def _iterate_numpy(weights, active, offsets, predicates, objects,
-                   epsilon, max_rounds, stats):
+def _iterate_numpy(
+    weights: list[float], active: list[int],
+    offsets: Sequence[int], predicates: Sequence[int], objects: Sequence[int],
+    epsilon: float, max_rounds: int, stats: WeightFixpointStats,
+) -> list[float]:
     """Vectorized sweeps for the default capped-addition operator."""
     w = _np.array(weights, dtype=_np.float64)
     sub = _np.array(active, dtype=_np.int64)
@@ -135,8 +140,11 @@ def _iterate_numpy(weights, active, offsets, predicates, objects,
     return w.tolist()
 
 
-def _iterate_python(weights, active, offsets, predicates, objects,
-                    epsilon, max_rounds, stats):
+def _iterate_python(
+    weights: list[float], active: list[int],
+    offsets: Sequence[int], predicates: Sequence[int], objects: Sequence[int],
+    epsilon: float, max_rounds: int, stats: WeightFixpointStats,
+) -> list[float]:
     """Portable sweeps replaying the NumPy path addition-for-addition."""
     w = weights
     num_edges = len(predicates)
@@ -180,8 +188,12 @@ def _iterate_python(weights, active, offsets, predicates, objects,
     return w
 
 
-def _iterate_generic(weights, active, offsets, predicates, objects,
-                     epsilon, max_rounds, operator, stats):
+def _iterate_generic(
+    weights: list[float], active: list[int],
+    offsets: Sequence[int], predicates: Sequence[int], objects: Sequence[int],
+    epsilon: float, max_rounds: int, operator: OplusOperator,
+    stats: WeightFixpointStats,
+) -> list[float]:
     """Fold-per-node sweeps for non-default ``⊕`` operators.
 
     Mirrors the reference ``oplus_sum`` left fold over the CSR edge

@@ -48,7 +48,7 @@ class GroundTruth:
         """
         pairs = {
             source_entities[key]: target_entities[key]
-            for key in source_entities.keys() & target_entities.keys()
+            for key in sorted(source_entities.keys() & target_entities.keys())
         }
         return cls(pairs)
 

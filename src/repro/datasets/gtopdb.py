@@ -457,9 +457,11 @@ class GtoPdbGenerator:
         target_graph, target_entities = self.export(target_index)
         pairs = {
             source_entities[key]: target_entities[key]
-            for key in source_entities.keys() & target_entities.keys()
+            for key in sorted(source_entities.keys() & target_entities.keys())
         }
-        for node in source_graph.literals() | source_graph.uris():
+        for node in sorted(
+            source_graph.literals() | source_graph.uris(), key=repr
+        ):
             if node in target_graph and node not in pairs:
                 pairs[node] = node
         return GroundTruth(pairs)

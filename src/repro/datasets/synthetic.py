@@ -698,7 +698,7 @@ class SyntheticGenerator:
         second = self.entities(index + 1)
         renames = {
             first[key]: second[key]
-            for key in first.keys() & second.keys()
+            for key in sorted(first.keys() & second.keys())
             if first[key] != second[key]
         }
         return diff(before, after, renames=renames)

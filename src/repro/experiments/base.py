@@ -20,6 +20,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..io.atomic import atomic_open, atomic_write_text
+
 
 @dataclass
 class ExperimentResult:
@@ -46,10 +48,9 @@ class ExperimentResult:
         os.makedirs(directory, exist_ok=True)
         stem = self.figure.lower().replace(" ", "")
         text_path = os.path.join(directory, f"{stem}.txt")
-        with open(text_path, "w", encoding="utf-8") as handle:
-            handle.write(self.render() + "\n")
+        atomic_write_text(text_path, self.render() + "\n")
         json_path = os.path.join(directory, f"{stem}.json")
-        with open(json_path, "w", encoding="utf-8") as handle:
+        with atomic_open(json_path) as handle:
             json.dump(
                 {
                     "figure": self.figure,

@@ -47,7 +47,7 @@ def run(
             jobs=(config.jobs if config else 1), config=config,
         ),
     ):
-        for pair in {(source, target), (target, source)}:
+        for pair in ((source, target), (target, source)):
             trivial_matrix[pair] = trivial_value
             deblank_matrix[pair] = deblank_value
     rows = [

@@ -51,7 +51,7 @@ def run(
         ),
     ):
         deblank_count, hybrid_count, overlap_count = counts
-        for pair in {(source, target), (target, source)}:
+        for pair in ((source, target), (target, source)):
             deblank_matrix[pair] = deblank_count
             hybrid_matrix[pair] = hybrid_count
             overlap_matrix[pair] = overlap_count

@@ -153,7 +153,8 @@ def pool_overhead() -> float:
             pool.submit(_noop).result(timeout=_PROBE_TIMEOUT)
             pool.shutdown(wait=True)
             _MEASURED_OVERHEAD = time.perf_counter() - start
-        except Exception:  # pragma: no cover - no subprocess support / hang
+        except (OSError, RuntimeError, ValueError,
+                TimeoutError):  # pragma: no cover - no subprocess support / hang
             _MEASURED_OVERHEAD = _DEFAULT_OVERHEAD
             if pool is not None:
                 _kill_pool_workers(pool)

@@ -53,6 +53,7 @@ import zlib
 from typing import Any, Iterable
 
 from ..exceptions import CorruptStoreError, ExperimentError
+from ..io.atomic import atomic_write_bytes
 from ..robustness import faults
 from ..robustness.retry import RetryPolicy, call_with_retry
 
@@ -195,18 +196,7 @@ class DiskBackend:
 
     def _atomic_write(self, relative: str, data: bytes) -> None:
         """Crash-safe file write: temp + fsync + replace + dir fsync."""
-        path = os.path.join(self.root, relative)
-        temp = path + ".tmp"
-        with open(temp, "wb") as handle:
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp, path)
-        directory_fd = os.open(os.path.dirname(path), os.O_RDONLY)
-        try:
-            os.fsync(directory_fd)
-        finally:
-            os.close(directory_fd)
+        atomic_write_bytes(os.path.join(self.root, relative), data)
 
     def _write_file(self, subdir: str, stem: str, data: bytes) -> str:
         directory = os.path.join(self.root, subdir)
@@ -359,7 +349,9 @@ class DiskBackend:
             for key, entry in sorted(table.items()):
                 path = os.path.join(self.root, entry["file"])
                 try:
-                    with open(path, "rb") as handle:
+                    # Raw bytes are the point: the scan must see exactly
+                    # what is on disk, with no retry masking the damage.
+                    with open(path, "rb") as handle:  # reprolint: disable=raw-io
                         data = handle.read()
                     self._check(kind, key, entry, data)
                 except (OSError, CorruptStoreError) as error:

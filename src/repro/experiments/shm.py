@@ -114,7 +114,9 @@ class ShmRegistry:
         """A fresh named segment of *nbytes* (> 0), tracked for unlink."""
         if _shared_memory is None:
             raise RuntimeError("shared memory is not available on this platform")
-        segment = _shared_memory.SharedMemory(
+        # The registry IS the lifecycle guard the rule asks for: every
+        # segment created here is tracked and unlinked by unlink().
+        segment = _shared_memory.SharedMemory(  # reprolint: disable=unguarded-shm
             create=True, size=nbytes, name=self._next_name()
         )
         self._segments.append(segment)

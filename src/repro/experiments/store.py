@@ -999,16 +999,12 @@ class VersionStore:
         def salvage(description: str, rebuild_fn):
             # Derived artifacts are rebuildable from the graphs: corrupt
             # or unreadable entries are skipped (and recorded), never
-            # fatal.  Unpickling hostile bytes can raise nearly anything,
-            # hence the broad except.
+            # fatal.  Unpickling hostile bytes can raise any of these.
             try:
                 return rebuild_fn()
-            except Exception as error:
-                if not isinstance(error, (CorruptStoreError, OSError,
-                                          pickle.UnpicklingError, EOFError,
-                                          ValueError, TypeError, KeyError,
-                                          IndexError, AttributeError)):
-                    raise
+            except (CorruptStoreError, OSError, pickle.UnpicklingError,
+                    EOFError, ValueError, TypeError, KeyError,
+                    IndexError, AttributeError) as error:
                 quarantined.append(
                     {"key": description, "reason": repr(error)}
                 )

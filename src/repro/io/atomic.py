@@ -1,0 +1,85 @@
+"""Atomic file writes: the one blessed ``open(..., "w")`` in the tree.
+
+PR 8 made the persisted-store manifest crash-safe (temp + fsync +
+``os.replace`` + directory fsync) after the chaos job showed a
+mid-write kill leaving a half-written manifest behind a valid-looking
+path.  The same failure mode applies to every other artifact the
+project writes — reports, figure renderings, synth manifests,
+``results/bench.json`` — so this module centralizes the discipline and
+the ``non-atomic-write`` rule of :mod:`repro.analysis` forbids direct
+write-mode ``open`` calls anywhere else in ``src/repro``.
+
+Standard-library only (the tolerant bench logger depends on it, and a
+timing side channel must never drag optional dependencies in).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import IO, Any, Iterator
+
+
+def _replace_and_sync(temp: str, path: str, fsync: bool) -> None:
+    os.replace(temp, path)
+    if not fsync:
+        return
+    directory = os.path.dirname(os.path.abspath(path))
+    directory_fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(directory_fd)
+    finally:
+        os.close(directory_fd)
+
+
+@contextmanager
+def atomic_open(
+    path: str | os.PathLike[str], mode: str = "w", *, fsync: bool = True
+) -> Iterator[IO[Any]]:
+    """A write handle whose contents appear at *path* all-or-nothing.
+
+    The body streams into ``<path>.tmp``; on clean exit the temp file is
+    fsync'd and renamed over *path* (plus a directory fsync so the
+    rename itself is durable).  On an exception the temp file is removed
+    and *path* is untouched — a crash mid-write can never leave a
+    truncated artifact behind.  *mode* must be ``"w"`` or ``"wb"``
+    (appends cannot be atomic; rewrite the whole file instead).
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_open mode must be 'w' or 'wb', got {mode!r}")
+    target = os.fspath(path)
+    temp = target + ".tmp"
+    if mode == "wb":
+        handle: IO[Any] = open(temp, "wb")  # reprolint: disable=non-atomic-write
+    else:
+        handle = open(temp, "w", encoding="utf-8")  # reprolint: disable=non-atomic-write
+    try:
+        yield handle
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    except BaseException:
+        handle.close()
+        try:
+            os.unlink(temp)
+        except OSError:
+            pass
+        raise
+    handle.close()
+    _replace_and_sync(temp, target, fsync)
+
+
+def atomic_write_bytes(
+    path: str | os.PathLike[str], data: bytes, *, fsync: bool = True
+) -> None:
+    """Write *data* to *path* atomically (temp + fsync + rename)."""
+    with atomic_open(path, "wb", fsync=fsync) as handle:
+        handle.write(data)
+
+
+def atomic_write_text(
+    path: str | os.PathLike[str], text: str, *, fsync: bool = True
+) -> None:
+    """Write *text* (UTF-8) to *path* atomically (temp + fsync + rename)."""
+    with atomic_open(path, "w", fsync=fsync) as handle:
+        handle.write(text)

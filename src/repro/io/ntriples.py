@@ -273,6 +273,8 @@ def dump(graph: RDFGraph, stream: TextIO, *, sort: bool = True) -> None:
 
 
 def dump_path(graph: RDFGraph, path: str | os.PathLike, *, sort: bool = True) -> None:
-    """Serialize *graph* to the file at *path*."""
-    with open(path, "w", encoding="utf-8") as handle:
+    """Serialize *graph* to the file at *path* (atomic: temp + rename)."""
+    from .atomic import atomic_open
+
+    with atomic_open(path) as handle:
         dump(graph, handle, sort=sort)

@@ -21,10 +21,13 @@ identifiers, no per-node set objects.
 from __future__ import annotations
 
 from array import array
-from typing import Collection, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Collection, Iterable, Mapping, Sequence
 
 from ..exceptions import GraphError, PartitionError
 from .graph import NodeId, TripleGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.shm import ShmRegistry
 
 #: Typecode of the adjacency index arrays (signed 64-bit).
 INDEX_TYPECODE = "q"
@@ -158,7 +161,11 @@ class CSRGraph:
     # ------------------------------------------------------------------
     @classmethod
     def from_parts(
-        cls, nodes: Sequence[NodeId], out_offsets, out_predicates, out_objects
+        cls,
+        nodes: Sequence[NodeId],
+        out_offsets: Sequence[int],
+        out_predicates: Sequence[int],
+        out_objects: Sequence[int],
     ) -> "CSRGraph":
         """Assemble a snapshot from its four buffers without re-walking.
 
@@ -176,7 +183,7 @@ class CSRGraph:
         snapshot.out_objects = out_objects
         return snapshot
 
-    def to_shared(self, registry) -> dict:
+    def to_shared(self, registry: "ShmRegistry") -> dict:
         """Publish this snapshot into named shared-memory segments.
 
         The three index arrays go in raw (attachers map them back as

@@ -58,6 +58,7 @@ import signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 
 #: Fault kinds that act at a :func:`fire` point.
@@ -194,7 +195,7 @@ def install(plan: FaultPlan | None) -> None:
 
 
 @contextmanager
-def inject(plan: FaultPlan | None):
+def inject(plan: FaultPlan | None) -> Iterator[FaultPlan | None]:
     """Context manager: arm *plan* for the block, restore the previous
     plan (and its clock) afterwards — exceptions included."""
     global ACTIVE

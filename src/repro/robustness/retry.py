@@ -156,7 +156,7 @@ def call_with_retry(fn: Callable[[], Any], *,
             sleep(policy.delay(attempt))
         try:
             return fn()
-        except BaseException as error:  # noqa: BLE001 - filtered below
+        except BaseException as error:  # reprolint: disable=broad-except  # noqa: BLE001 - filtered below
             if not (isinstance(error, retry_on) and not isinstance(error, no_retry)):
                 raise
             last = error

@@ -244,7 +244,9 @@ class _NonLiteralRound:
         target_groups = self._grouped_weights(target_dense)
         contributions: list[float] = []
         uncoupled = 0
-        for key in source_groups.keys() | target_groups.keys():
+        # Sorted so the float-accumulation order (and thus the bits of
+        # the oplus sum) is independent of the hash seed.
+        for key in sorted(source_groups.keys() | target_groups.keys()):
             first = source_groups.get(key, ())
             second = target_groups.get(key, ())
             coupled = min(len(first), len(second))

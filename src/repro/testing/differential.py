@@ -71,6 +71,7 @@ from ..benchlog import append_bench_entry  # noqa: F401  (re-exported; CI uses i
 from ..datasets.synthetic import SCENARIOS, SyntheticConfig, SyntheticGenerator
 from ..exceptions import ReproError
 from ..experiments.parallel import run_sharded
+from ..io.atomic import atomic_write_text
 
 #: Default theta sweep of the monotonicity check (coarse on purpose —
 #: the oracle's job is ordering, not the Figure 15 curve).
@@ -193,7 +194,7 @@ def _run_cell(config: AlignConfig, source, target):
         return Aligner(config).align(source, target)
     except ReproError as error:
         return Refusal(type(error).__name__, str(error))
-    except Exception as error:  # the oracle must report crashes, not die
+    except Exception as error:  # reprolint: disable=broad-except  # the oracle must report crashes, not die
         return Refusal(type(error).__name__, str(error), expected=False)
 
 
@@ -471,7 +472,7 @@ class _ScenarioOracle:
         ]
         try:
             chain = Aligner(config).align_chain(self.graphs, changes=changes)
-        except Exception as error:
+        except Exception as error:  # reprolint: disable=broad-except  # any crash is a divergence
             self._diverge(
                 "incremental_parity", method,
                 f"incremental chain raised {type(error).__name__}: {error} "
@@ -646,7 +647,7 @@ class _ScenarioOracle:
                             store, cells.edge_ratio_cell, pairs, jobs=2,
                             config=config, force=True, events=events,
                         )
-                except Exception as error:
+                except Exception as error:  # reprolint: disable=broad-except  # any crash is a divergence
                     self._diverge(
                         "fault_tolerance", name,
                         f"run under plan {name!r} did not complete: "
@@ -711,7 +712,7 @@ class _ScenarioOracle:
             try:
                 with inject(transient):
                     faulted_reports = reports_from(VersionStore.load(root))
-            except Exception as error:
+            except Exception as error:  # reprolint: disable=broad-except  # any crash is a divergence
                 self._diverge(
                     "fault_tolerance", "transient_io",
                     f"load under transient I/O faults did not complete: "
@@ -740,7 +741,7 @@ class _ScenarioOracle:
                 try:
                     corrupted = VersionStore.load(root)
                     corrupt_reports = reports_from(corrupted)
-                except Exception as error:
+                except Exception as error:  # reprolint: disable=broad-except  # any crash is a divergence
                     self._diverge(
                         "fault_tolerance", "corrupt_block",
                         f"load of a bit-flipped archive did not complete: "
@@ -944,29 +945,29 @@ def main(argv: Sequence[str] | None = None) -> int:
             report = run_differential(
                 config, name=name, jobs=args.jobs, axis=args.axis
             )
-        except Exception as error:
+        except Exception as error:  # reprolint: disable=broad-except
             # Last-ditch net (e.g. a generator bug): the artifact with the
             # scenario's seed + config must still reach CI.
             failures += 1
             os.makedirs(args.out, exist_ok=True)
             artifact = os.path.join(args.out, f"{name}.json")
-            with open(artifact, "w", encoding="utf-8") as handle:
-                handle.write(
-                    json.dumps(
-                        {
-                            "schema": "repro/differential-report",
-                            "version": 1,
-                            "scenario": name,
-                            "seed": config.seed,
-                            "config": config.to_dict(),
-                            "ok": False,
-                            "error": f"{type(error).__name__}: {error}",
-                        },
-                        indent=2,
-                        sort_keys=True,
-                    )
-                    + "\n"
+            atomic_write_text(
+                artifact,
+                json.dumps(
+                    {
+                        "schema": "repro/differential-report",
+                        "version": 1,
+                        "scenario": name,
+                        "seed": config.seed,
+                        "config": config.to_dict(),
+                        "ok": False,
+                        "error": f"{type(error).__name__}: {error}",
+                    },
+                    indent=2,
+                    sort_keys=True,
                 )
+                + "\n",
+            )
             print(f"{name}: oracle crashed — {type(error).__name__}: {error}")
             print(f"  artifact written to {artifact}")
             continue
@@ -980,11 +981,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             failures += 1
             os.makedirs(args.out, exist_ok=True)
             artifact = os.path.join(args.out, f"{name}.json")
-            with open(artifact, "w", encoding="utf-8") as handle:
-                handle.write(
-                    json.dumps(report.to_dict(), indent=2, sort_keys=True)
-                    + "\n"
-                )
+            atomic_write_text(
+                artifact,
+                json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            )
             for divergence in report.divergences:
                 print("  " + divergence.render())
             print(f"  artifact written to {artifact}")
