@@ -31,6 +31,7 @@ def record_bench(
     baseline_seconds: float | None = None,
     jobs: int | None = None,
     cpus: int | None = None,
+    k: int | None = None,
 ) -> bool:
     """Append one machine-readable measurement to ``results/bench.json``.
 
@@ -38,8 +39,9 @@ def record_bench(
     benchmark per run): ``[{"name", "seconds", "speedup"}, ...]``.
     ``speedup`` is the measured ratio for comparison benches and ``null``
     for plain timings.  Comparison benches additionally pass
-    ``baseline_seconds`` (the denominator of the ratio), ``jobs`` and
-    ``cpus`` — additive keys that let trajectory tooling distinguish a
+    ``baseline_seconds`` (the denominator of the ratio), ``jobs``,
+    ``cpus`` and the k-bisimulation round bound ``k`` —
+    additive keys that let trajectory tooling distinguish a
     slower machine from a real regression; entries without them keep the
     historical shape, so old readers are unaffected.
 
@@ -58,7 +60,7 @@ def record_bench(
         return False
     return append_bench_entry(
         BENCH_JSON, name, seconds, speedup,
-        baseline_seconds=baseline_seconds, jobs=jobs, cpus=cpus,
+        baseline_seconds=baseline_seconds, jobs=jobs, cpus=cpus, k=k,
     )
 
 

@@ -62,6 +62,13 @@ class AlignConfig:
     jobs:
         Worker processes for batch/experiment execution (``0`` = one per
         CPU, ``1`` = serial).  Never affects results, only wall-clock.
+    k:
+        Round bound of the hash-signature k-bisimulation family
+        (``kbisim``/``kbisim_deblank``): the partition refines for at
+        most ``k`` rounds, stopping early once it stabilizes.  ``k=0``
+        is the label partition; any ``k`` at or above the graph's
+        diameter reproduces the full bisimulation fixpoint.  Ignored by
+        every other method.
     incremental:
         When ``True``, :meth:`~repro.align.session.Aligner.align_chain`
         maintains each version's deblanking fixpoint from its
@@ -102,6 +109,7 @@ class AlignConfig:
     probe: str = "paper"
     splitter: Callable[[str], frozenset] = split_words
     jobs: int = 1
+    k: int = 3
     incremental: bool = False
     backend: str | None = None
     retries: int = 2
@@ -142,6 +150,10 @@ class AlignConfig:
             raise ConfigError(f"jobs must be an integer, got {self.jobs!r}")
         if self.jobs < 0:
             raise ConfigError(f"jobs must be >= 0, got {self.jobs!r}")
+        if isinstance(self.k, bool) or not isinstance(self.k, int):
+            raise ConfigError(f"k must be an integer, got {self.k!r}")
+        if self.k < 0:
+            raise ConfigError(f"k must be >= 0, got {self.k!r}")
         if not isinstance(self.incremental, bool):
             raise ConfigError(
                 f"incremental must be a boolean, got {self.incremental!r}"
@@ -210,6 +222,7 @@ class AlignConfig:
             "probe": self.probe,
             "splitter": self.splitter_name,
             "jobs": self.jobs,
+            "k": self.k,
             "incremental": self.incremental,
             "backend": self.backend,
             "retries": self.retries,

@@ -15,17 +15,20 @@ Each runner follows the registry contract
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Collection
 
 from ..baselines.label_invention import label_invention_alignment
 from ..baselines.similarity_flooding import similarity_flooding
 from ..core.deblank import deblank_partition
+from ..core.dense import resolve_refine_engine
 from ..core.hybrid import hybrid_partition
+from ..core.ksignature import SignatureStats, ksignature_partition
 from ..core.trivial import trivial_partition
 from ..model.csr import CSRGraph
+from ..model.graph import NodeId
 from ..model.union import CombinedGraph
 from ..partition.alignment import PartitionAlignment
-from ..partition.coloring import Partition
+from ..partition.coloring import Partition, label_partition
 from ..partition.interner import ColorInterner
 from ..partition.weighted import WeightedPartition
 from ..similarity.overlap_alignment import OverlapTrace, overlap_partition
@@ -70,6 +73,7 @@ def _partition_result(
     config: "AlignConfig",
     weighted: WeightedPartition | None = None,
     trace: OverlapTrace | None = None,
+    details: dict | None = None,
 ) -> AlignmentResult:
     return AlignmentResult(
         method=method,
@@ -80,6 +84,7 @@ def _partition_result(
         weighted=weighted,
         trace=trace,
         engine=config.engine,
+        details=details or {},
     )
 
 
@@ -137,6 +142,92 @@ def _overlap_runner(
 
 
 # ----------------------------------------------------------------------
+# The k-bisimulation hash-signature family (Rau et al., and full bisim as
+# its k→∞ anchor).  These refine over *all* nodes, so unlike the paper's
+# four operators they may split label-equal URIs (label_floor=False).
+# ----------------------------------------------------------------------
+def _bisim_runner(
+    graph: CombinedGraph, config: "AlignConfig", context: MethodContext
+) -> AlignmentResult:
+    interner = ColorInterner()
+    refine = resolve_refine_engine(config.engine)
+    partition = refine(
+        graph, label_partition(graph, interner), None, interner,
+        **({"csr": context.csr} if context.csr is not None else {}),
+    )
+    return _partition_result("bisim", graph, partition, interner, config)
+
+
+def _signature_family(
+    method: str,
+    graph: CombinedGraph,
+    config: "AlignConfig",
+    context: MethodContext,
+    subset: Collection[NodeId] | None,
+) -> AlignmentResult:
+    """Shared runner body of ``kbisim``/``kbisim_deblank``.
+
+    ``config.jobs != 1`` routes signature hashing through the per-node
+    shm shard pool when the platform supports it; the pooled and serial
+    paths are byte-identical by construction (same payloads, same hash,
+    same interning order), so jobs never affects the result.
+    """
+    interner = ColorInterner()
+    stats = SignatureStats()
+    partition: Partition | None = None
+    if config.jobs != 1:
+        from ..experiments.ksig_shard import (
+            pooled_available,
+            pooled_ksignature_partition,
+        )
+
+        if pooled_available():
+            partition = pooled_ksignature_partition(
+                graph,
+                interner,
+                k=config.k,
+                engine=config.engine,
+                subset=subset,
+                csr=context.csr,
+                stats=stats,
+                jobs=config.jobs,
+            )
+    if partition is None:
+        partition = ksignature_partition(
+            graph,
+            interner,
+            k=config.k,
+            engine=config.engine,
+            subset=subset,
+            csr=context.csr,
+            stats=stats,
+        )
+    details = {
+        "k": stats.k,
+        "signature_rounds": stats.rounds,
+        "signature_converged": stats.converged,
+        "signature_classes": list(stats.class_counts),
+    }
+    return _partition_result(
+        method, graph, partition, interner, config, details=details
+    )
+
+
+def _kbisim_runner(
+    graph: CombinedGraph, config: "AlignConfig", context: MethodContext
+) -> AlignmentResult:
+    return _signature_family("kbisim", graph, config, context, None)
+
+
+def _kbisim_deblank_runner(
+    graph: CombinedGraph, config: "AlignConfig", context: MethodContext
+) -> AlignmentResult:
+    return _signature_family(
+        "kbisim_deblank", graph, config, context, graph.blanks()
+    )
+
+
+# ----------------------------------------------------------------------
 # Related-work baselines (PAPERS.md: Melnik et al. [12], Tzitzikas et al. [17])
 # ----------------------------------------------------------------------
 def _similarity_flooding_runner(
@@ -189,6 +280,28 @@ register_method(MethodSpec(
     runner=_overlap_runner,
     finer_than="hybrid",
     description="plus similarity matches robust under edits (Section 4.7)",
+))
+register_method(MethodSpec(
+    name="bisim",
+    runner=_bisim_runner,
+    finer_than=None,
+    description="full maximal bisimulation over all nodes (Section 3.2)",
+    label_floor=False,
+))
+register_method(MethodSpec(
+    name="kbisim",
+    runner=_kbisim_runner,
+    finer_than="bisim",
+    description="hash-signature k-bisimulation, k rounds (Rau et al., 2022)",
+    label_floor=False,
+    uses_k=True,
+))
+register_method(MethodSpec(
+    name="kbisim_deblank",
+    runner=_kbisim_deblank_runner,
+    finer_than="deblank",
+    description="k-round signature refinement on blank nodes only",
+    uses_k=True,
 ))
 register_method(MethodSpec(
     name="similarity_flooding",

@@ -51,7 +51,13 @@ class MethodSpec:
     methods that sit outside the hierarchy (they are offered by the CLI
     but never enter the order).  ``uses_csr`` tells the session whether
     the dense engine should hand the runner a CSR snapshot (the trivial
-    method and the baselines never touch one).
+    method and the baselines never touch one).  ``label_floor`` says the
+    method's partition can never split label-equal URI nodes — true for
+    the paper's four operators, false for the all-node bisimulation
+    family, whose refinement distinguishes URIs by structure; the
+    differential oracle keys its ground-truth floor check on this flag.
+    ``uses_k`` marks methods parameterized by the round bound
+    ``AlignConfig.k`` (reports then record ``k`` among their parameters).
     """
 
     name: str
@@ -60,6 +66,8 @@ class MethodSpec:
     description: str = ""
     baseline: bool = False
     uses_csr: bool = True
+    label_floor: bool = True
+    uses_k: bool = False
 
 
 #: name -> spec, in registration order (dicts preserve insertion order).

@@ -24,7 +24,7 @@ import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from ..exceptions import ReportError
+from ..exceptions import ReportError, UnknownMethodError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..model.graph import NodeId
@@ -116,6 +116,13 @@ class AlignmentReport:
                 "probe": config.probe,
                 "splitter": config.splitter_name,
             }
+            try:
+                from .registry import get_method
+
+                if get_method(result.method).uses_k:
+                    parameters["k"] = config.k
+            except UnknownMethodError:  # unregistered ad-hoc result
+                pass
         diagnostics: dict | None = None
         trace = getattr(result, "trace", None)
         if trace is not None:

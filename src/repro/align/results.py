@@ -59,7 +59,10 @@ class AlignmentResult(_ResultOps):
     """Everything produced by one partition-based alignment run.
 
     ``weighted`` is populated by the overlap method only; ``alignment``
-    always reflects the final partition.
+    always reflects the final partition.  ``details`` carries
+    method-specific diagnostics (e.g. the signature round counts of the
+    k-bisimulation family) and is surfaced in the report's
+    ``diagnostics`` block, mirroring :class:`BaselineResult`.
     """
 
     method: str
@@ -70,6 +73,7 @@ class AlignmentResult(_ResultOps):
     weighted: WeightedPartition | None = None
     trace: OverlapTrace | None = None
     engine: str = "reference"
+    details: dict = field(default_factory=dict)
 
 
 class PairAlignment:

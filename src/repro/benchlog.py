@@ -25,12 +25,14 @@ def append_bench_entry(
     baseline_seconds: float | None = None,
     jobs: int | None = None,
     cpus: int | None = None,
+    k: int | None = None,
 ) -> bool:
     """Append one ``{"name", "seconds", "speedup"}`` row to *path*.
 
     Comparison benches may also record the context their ratio was
     measured in — ``baseline_seconds`` (the jobs=1 denominator),
-    ``jobs`` and ``cpus`` — so trajectory tooling can tell "slower
+    ``jobs``, ``cpus`` and the signature round bound ``k`` — so
+    trajectory tooling can tell "slower
     machine" from "real regression".  The extra keys are additive: rows
     without them keep the historical three-key shape, so old readers
     keep working.
@@ -58,6 +60,8 @@ def append_bench_entry(
         entry["jobs"] = int(jobs)
     if cpus is not None:
         entry["cpus"] = int(cpus)
+    if k is not None:
+        entry["k"] = int(k)
     entries.append(entry)
     try:
         parent = os.path.dirname(os.fspath(path))

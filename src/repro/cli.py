@@ -96,6 +96,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "CSR buffers)",
     )
     align_cmd.add_argument(
+        "--k",
+        type=int,
+        default=3,
+        help="round bound of the k-bisimulation family (--method kbisim/"
+        "kbisim_deblank); k at or above the graph diameter reproduces "
+        "the full bisimulation fixpoint",
+    )
+    align_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the k-bisimulation signature shard "
+        "pool (0 = one per CPU; identical results, less wall-clock)",
+    )
+    align_cmd.add_argument(
         "--incremental",
         action="store_true",
         help="maintain the chain's deblanking fixpoints under per-step "
@@ -281,6 +296,8 @@ def _command_align(args: argparse.Namespace) -> int:
         engine=args.engine,
         probe=args.probe,
         splitter=args.splitter,
+        jobs=args.jobs,
+        k=args.k,
         incremental=args.incremental,
     )
     aligner = Aligner(config)

@@ -12,6 +12,7 @@ byte-for-byte.
 from __future__ import annotations
 
 from ..align.config import AlignConfig
+from ..align.methods import MethodContext, run_method
 from ..evaluation.metrics import (
     aligned_edge_count,
     ground_truth_entity_count,
@@ -47,6 +48,31 @@ def method_counts_cell(store, config, pair: tuple[int, int]) -> tuple[int, int, 
         aligned_edge_count(context.union, context.hybrid),
         aligned_edge_count(context.union, weighted.partition),
     )
+
+
+def kbisim_counts_cell(store, config, pair: tuple[int, int]) -> dict:
+    """k-bisimulation counts of one version pair at round bound ``config.k``.
+
+    Runs the ``kbisim`` method over the pair's memoized union.  Inside a
+    pool worker the per-node signature shard pool is automatically
+    disabled (nested pools stay serial), so parallelism is per-cell
+    here and per-node in direct :class:`~repro.align.session.Aligner`
+    runs — both byte-identical to the serial result.
+    """
+    config = config or _DEFAULT_CONFIG
+    source, target = pair
+    union = store.union(source, target)
+    csr = store.union_csr(source, target) if config.engine == "dense" else None
+    result = run_method(
+        union, config.evolve(method="kbisim"), MethodContext(csr=csr)
+    )
+    return {
+        "pair": (source, target),
+        "k": config.k,
+        "matched_entities": result.matched_entities(),
+        "rounds": result.details["signature_rounds"],
+        "converged": result.details["signature_converged"],
+    }
 
 
 def entity_counts_cell(store, config, index: int) -> dict:

@@ -193,6 +193,17 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def in_worker() -> bool:
+    """Is this process a pool worker?  Nested pools must stay serial."""
+    return _IN_WORKER
+
+
+def mark_worker() -> None:
+    """Flag this process as a pool worker (called by worker initializers)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
 def _invoke(index: int):
     global _IN_WORKER
     _IN_WORKER = True

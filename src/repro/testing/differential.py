@@ -45,7 +45,16 @@ asserts the cross-cutting invariants:
 * **no crashes** — a deliberate :class:`~repro.exceptions.ReproError`
   refusal is legitimate when consistent across paths, but any other
   exception in any method × engine cell is captured as a ``crash``
-  divergence (the sweep still completes and the artifact is written).
+  divergence (the sweep still completes and the artifact is written);
+* **k-bisimulation boundedness** (``--axis kbisim``) — the
+  hash-signature family (:mod:`repro.core.ksignature`) sweeps the round
+  bound: per pair, engines agree byte-wise at *every* ``k``, the
+  partition at ``k+1`` refines the partition at ``k`` (and the aligned
+  pair set shrinks accordingly), the anchor fixpoint method's alignment
+  is contained at every ``k``, the alignment at ``k`` = the combined
+  graph's diameter is byte-identical to the fixpoint method's (modulo
+  the method-identity markers), and the signature shard pool
+  (``jobs > 1``) reproduces the serial bytes exactly.
 
 Every failure is a :class:`Divergence` carrying the scenario config, so
 CI can upload ``{seed, config}`` JSON artifacts from which the exact
@@ -85,10 +94,11 @@ DEFAULT_ENGINES: tuple[str, ...] = ("reference", "dense")
 
 #: The oracle's selectable axes: ``"all"`` runs every invariant,
 #: ``"incremental"`` runs only the incremental-vs-scratch parity check,
-#: ``"persistence"`` only the save/load parity check, and ``"faults"``
-#: only the fault-tolerance parity check (each a dedicated CI job,
-#: cheap enough to run on every push).
-AXES: tuple[str, ...] = ("all", "incremental", "persistence", "faults")
+#: ``"persistence"`` only the save/load parity check, ``"faults"`` only
+#: the fault-tolerance parity check, and ``"kbisim"`` only the
+#: k-bisimulation boundedness sweep (each a dedicated CI job, cheap
+#: enough to run on every push).
+AXES: tuple[str, ...] = ("all", "incremental", "persistence", "faults", "kbisim")
 
 
 @dataclass(frozen=True)
@@ -100,12 +110,14 @@ class Divergence:
     method: str
     detail: str
     pair: tuple[int, int] | None = None
+    k: int | None = None
 
     def render(self) -> str:
         where = f" pair={self.pair}" if self.pair is not None else ""
+        bound = f" k={self.k}" if self.k is not None else ""
         return (
             f"[{self.scenario}] {self.invariant} method={self.method}"
-            f"{where}: {self.detail}"
+            f"{where}{bound}: {self.detail}"
         )
 
 
@@ -158,6 +170,7 @@ class DifferentialReport:
                     "invariant": d.invariant,
                     "method": d.method,
                     "pair": list(d.pair) if d.pair else None,
+                    "k": d.k,
                     "detail": d.detail,
                 }
                 for d in self.divergences
@@ -211,6 +224,24 @@ def _parity_bytes(report: AlignmentReport) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def _family_bytes(report: AlignmentReport) -> str:
+    """The report JSON with every method-identity marker removed.
+
+    Used by the k-bisimulation convergence check: a ``kbisim`` run at
+    ``k >= `` the graph diameter must agree with the fixpoint method on
+    everything except how the run *describes itself* — the method name,
+    its parameters (``k``) and its diagnostics (signature round stats)
+    legitimately differ, while the alignment payload (pairs, unaligned
+    sets, stats) must be byte-identical.
+    """
+    if isinstance(report, Refusal):
+        return report.render()
+    payload = report.to_dict()
+    for marker in ("engine", "method", "parameters", "diagnostics"):
+        payload.pop(marker, None)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
 def _render_node(graph, node) -> str:
     return repr(graph.original(node))
 
@@ -255,6 +286,7 @@ class _ScenarioOracle:
     def _diverge(
         self, invariant: str, method: str, detail: str,
         pair: tuple[int, int] | None = None,
+        k: int | None = None,
     ) -> None:
         self.report.divergences.append(
             Divergence(
@@ -263,6 +295,7 @@ class _ScenarioOracle:
                 method=method,
                 detail=detail,
                 pair=pair,
+                k=k,
             )
         )
 
@@ -363,8 +396,10 @@ class _ScenarioOracle:
                 )
             # Carried ground truth: label-equal persistent entities are the
             # floor of the method chain — every hierarchy method must align
-            # them (baselines sit outside the hierarchy contract).
-            if spec.baseline:
+            # them (baselines sit outside the hierarchy contract, and the
+            # all-node bisimulation family may legitimately split
+            # label-equal URIs by structure: label_floor=False).
+            if spec.baseline or not spec.label_floor:
                 continue
             truth = self.generator.ground_truth(*pair)
             labels = graph.labels()
@@ -761,6 +796,159 @@ class _ScenarioOracle:
                             "byte-wise from the fault-free run",
                         )
 
+    def check_kbisim(self) -> None:
+        """The k-bisimulation family's boundedness sweep (``--axis kbisim``).
+
+        Per pair and per family member (``kbisim`` anchored on the full
+        ``bisim`` fixpoint, ``kbisim_deblank`` on ``deblank``), the
+        round bound is swept over ``k = 0 .. diameter + 1`` of the
+        combined graph and five invariants are pinned:
+
+        * **engine parity** — reference/dense agree byte-wise at every k;
+        * **k-monotonicity** — the partition at ``k+1`` refines the
+          partition at ``k``, so the aligned pair set at ``k+1`` is a
+          subset of the one at ``k``;
+        * **hierarchy containment** — the anchor fixpoint's alignment
+          (and every registered floor's) is contained in the bounded
+          method's at every ``k``;
+        * **convergence** — at ``k >= diameter`` the report is
+          byte-identical to the anchor's modulo the method-identity
+          markers (:func:`_family_bytes`);
+        * **jobs determinism** — at ``k = diameter`` the signature shard
+          pool (every ``jobs > 1`` in the sweep) reproduces the serial
+          report bytes exactly.
+        """
+        from ..core.ksignature import graph_diameter
+
+        families = (
+            ("kbisim", "bisim", ("bisim",)),
+            ("kbisim_deblank", "deblank", ("trivial", "deblank")),
+        )
+        base_engine = self.report.engines[0]
+        for pair in self.report.pairs:
+            source, target = self.graphs[pair[0]], self.graphs[pair[1]]
+            for method, anchor, floors in families:
+                if method not in self.report.methods:
+                    continue
+                named: dict = {}
+                refused = False
+                for other in dict.fromkeys((anchor, *floors)):
+                    outcome = _run_cell(
+                        AlignConfig(method=other, engine=base_engine),
+                        source, target,
+                    )
+                    self.report.cells += 1
+                    if isinstance(outcome, Refusal):
+                        self._diverge(
+                            "kbisim_axis", other,
+                            f"anchor/floor method refused: {outcome.render()}",
+                            pair=pair,
+                        )
+                        refused = True
+                    named[other] = outcome
+                if refused:
+                    continue
+                diameter = graph_diameter(named[anchor].graph)
+                ks = tuple(range(diameter + 2))
+                swept: dict[str, dict[int, tuple]] = {}
+                crashed = False
+                for engine in self.report.engines:
+                    swept[engine] = {}
+                    for k in ks:
+                        config = AlignConfig(method=method, engine=engine, k=k)
+                        outcome = _run_cell(config, source, target)
+                        self.report.cells += 1
+                        if isinstance(outcome, Refusal):
+                            self._diverge(
+                                "kbisim_axis", method,
+                                f"refused: {outcome.render()} "
+                                f"(engine={engine})",
+                                pair=pair, k=k,
+                            )
+                            crashed = True
+                            continue
+                        swept[engine][k] = (outcome, outcome.report(config))
+                if crashed:
+                    continue
+                for engine in self.report.engines[1:]:
+                    for k in ks:
+                        if _parity_bytes(swept[base_engine][k][1]) != (
+                            _parity_bytes(swept[engine][k][1])
+                        ):
+                            self._diverge(
+                                "kbisim_engine_parity", method,
+                                f"engines {base_engine!r} and {engine!r} "
+                                f"disagree byte-wise",
+                                pair=pair, k=k,
+                            )
+                base = swept[base_engine]
+                for k in ks[:-1]:
+                    coarse, fine = base[k][0], base[k + 1][0]
+                    if not fine.partition.finer_than(coarse.partition):
+                        self._diverge(
+                            "kbisim_monotonicity", method,
+                            f"partition at k={k + 1} does not refine the "
+                            f"partition at k={k}",
+                            pair=pair, k=k,
+                        )
+                    grown = set(fine.alignment.pairs()) - set(
+                        coarse.alignment.pairs()
+                    )
+                    if grown:
+                        self._diverge(
+                            "kbisim_monotonicity", method,
+                            f"{len(grown)} pair(s) aligned at k={k + 1} but "
+                            f"not at k={k}",
+                            pair=pair, k=k,
+                        )
+                for floor in (anchor, *floors):
+                    floor_pairs = set(named[floor].alignment.pairs())
+                    for k in ks:
+                        missing = floor_pairs - set(base[k][0].alignment.pairs())
+                        if missing:
+                            self._diverge(
+                                "kbisim_hierarchy", method,
+                                f"{len(missing)} pair(s) aligned by {floor!r} "
+                                f"but not by {method!r}",
+                                pair=pair, k=k,
+                            )
+                anchor_bytes = _family_bytes(
+                    named[anchor].report(
+                        AlignConfig(method=anchor, engine=base_engine)
+                    )
+                )
+                for k in (diameter, diameter + 1):
+                    if _family_bytes(base[k][1]) != anchor_bytes:
+                        self._diverge(
+                            "kbisim_convergence", method,
+                            f"alignment at k={k} (diameter {diameter}) is "
+                            f"not byte-identical to the {anchor!r} fixpoint",
+                            pair=pair, k=k,
+                        )
+                serial_bytes = base[diameter][1].to_json()
+                for jobs in self.report.jobs:
+                    if jobs <= 1:
+                        continue
+                    config = AlignConfig(
+                        method=method, engine=base_engine,
+                        k=diameter, jobs=jobs,
+                    )
+                    outcome = _run_cell(config, source, target)
+                    self.report.cells += 1
+                    if isinstance(outcome, Refusal):
+                        self._diverge(
+                            "kbisim_jobs_determinism", method,
+                            f"jobs={jobs} run refused: {outcome.render()}",
+                            pair=pair, k=diameter,
+                        )
+                    elif outcome.report(config).to_json() != serial_bytes:
+                        self._diverge(
+                            "kbisim_jobs_determinism", method,
+                            f"jobs={jobs} report differs byte-wise from the "
+                            f"serial run",
+                            pair=pair, k=diameter,
+                        )
+
     def check_report_roundtrip(self, method: str,
                                reports: Iterable[AlignmentReport]) -> None:
         for index, report in enumerate(reports):
@@ -788,6 +976,9 @@ class _ScenarioOracle:
             return self.report
         if self.axis == "faults":
             self.check_fault_tolerance()
+            return self.report
+        if self.axis == "kbisim":
+            self.check_kbisim()
             return self.report
         full = self.axis == "all"
         all_results: dict[str, dict[str, list]] = {
@@ -930,7 +1121,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="invariant set to run (incremental = only the "
         "incremental-vs-scratch parity check; persistence = only the "
         "save/load backend parity check; faults = only the seeded "
-        "fault-injection parity check)",
+        "fault-injection parity check; kbisim = only the k-bisimulation "
+        "boundedness sweep)",
     )
     args = parser.parse_args(argv)
 

@@ -22,7 +22,10 @@ from repro.exceptions import ConfigError, UnknownMethodError
 
 class TestBuiltins:
     def test_core_order_matches_paper_hierarchy(self):
-        assert method_order() == ("trivial", "deblank", "hybrid", "overlap")
+        assert method_order() == (
+            "trivial", "deblank", "hybrid", "overlap",
+            "bisim", "kbisim", "kbisim_deblank",
+        )
 
     def test_method_order_derives_legacy_constant(self):
         assert METHOD_ORDER == method_order()

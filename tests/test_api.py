@@ -103,7 +103,10 @@ class TestAlignVersions:
         assert unaligned_source > 0 and unaligned_target > 0
 
     def test_method_order_constant(self):
-        assert METHOD_ORDER == ("trivial", "deblank", "hybrid", "overlap")
+        assert METHOD_ORDER == (
+            "trivial", "deblank", "hybrid", "overlap",
+            "bisim", "kbisim", "kbisim_deblank",
+        )
 
 
 class TestDeprecatedFacade:

@@ -100,6 +100,29 @@ def _worker_dependent_runner(graph, config, context):
     )
 
 
+class TestKbisimAxis:
+    """The k-bisimulation boundedness sweep (``--axis kbisim``)."""
+
+    def test_tiny_scenario_passes_kbisim_axis(self):
+        report = run_differential(_TINY, name="tiny", axis="kbisim", jobs=(1, 2))
+        assert report.ok, "\n".join(d.render() for d in report.divergences)
+        # The sweep really ran cells (anchors + k sweep per engine).
+        assert report.cells > 0
+
+    def test_divergence_k_is_rendered_and_serialized(self):
+        divergence = Divergence(
+            scenario="s", invariant="kbisim_convergence", method="kbisim",
+            detail="boom", pair=(0, 1), k=4,
+        )
+        assert "k=4" in divergence.render()
+        report = DifferentialReport(
+            scenario="s", config=_TINY, methods=("kbisim",),
+            engines=("reference",), jobs=(1,), pairs=((0, 1),),
+            divergences=[divergence],
+        )
+        assert report.to_dict()["divergences"][0]["k"] == 4
+
+
 class TestOracleTeeth:
     """The oracle must catch the failure modes it exists for."""
 
